@@ -1,0 +1,55 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+Full-scale datasets and environments are built once per session; each bench
+regenerates one paper table/figure, times it with pytest-benchmark, prints
+the paper-shaped table and archives it under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.core.executor import Environment
+from repro.data import tiger
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def pa_full():
+    """The full 139 006-segment PA dataset."""
+    return tiger.pa_dataset(scale=1.0, seed=1)
+
+
+@pytest.fixture(scope="session")
+def nyc_full():
+    """The full 38 778-segment NYC dataset."""
+    return tiger.nyc_dataset(scale=1.0, seed=2)
+
+
+@pytest.fixture(scope="session")
+def pa_env(pa_full) -> Environment:
+    """Environment over full PA (benches must reset caches per workload —
+    the sweep harness does this automatically)."""
+    return Environment.create(pa_full)
+
+
+@pytest.fixture(scope="session")
+def nyc_env(nyc_full) -> Environment:
+    """Environment over full NYC."""
+    return Environment.create(nyc_full)
+
+
+@pytest.fixture(scope="session")
+def save_report():
+    """Write a rendered table to benchmarks/results/<name>.txt and stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+
+    return _save

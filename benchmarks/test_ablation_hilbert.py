@@ -1,0 +1,55 @@
+"""Ablation: Hilbert-sorted packing vs unsorted bulk load.
+
+Why packed R-trees sort by Hilbert value (Kamel & Faloutsos): without the
+sort, leaf MBRs sprawl across the extent, filtering visits many more nodes,
+and the client pays for it in cycles and energy.  This bench builds both
+trees over the full PA dataset and compares fully-at-client range queries.
+"""
+
+from __future__ import annotations
+
+from repro.bench.report import render_rows
+from repro.core.executor import Environment, Policy, plan_query, price_plan
+from repro.core.schemes import Scheme, SchemeConfig
+from repro.data.workloads import range_queries
+from repro.spatial.rtree import PackedRTree
+from repro.spatial.stats import tree_stats
+
+FC = SchemeConfig(Scheme.FULLY_CLIENT)
+
+
+def test_ablation_hilbert_packing(benchmark, pa_full, save_report):
+    qs = range_queries(pa_full, 50)
+
+    def run():
+        rows = []
+        for sort in (True, False):
+            tree = PackedRTree.build(pa_full, sort=sort)
+            env = Environment.create(pa_full, tree=tree)
+            policy = Policy()
+            total_e = total_c = nodes = 0.0
+            for q in qs:
+                plan = plan_query(q, FC, env)
+                r = price_plan(plan, env, policy)
+                total_e += r.energy.total()
+                total_c += r.cycles.total()
+            stats = tree_stats(tree)
+            rows.append(
+                {
+                    "packing": "hilbert" if sort else "unsorted",
+                    "leaf_area_ratio": f"{stats.leaf_area_ratio:.2f}",
+                    "energy_J": f"{total_e:.4f}",
+                    "cycles": f"{total_c:.3e}",
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_report(
+        "ablation_hilbert",
+        render_rows(rows, "Ablation: Hilbert-sorted vs unsorted packing (fully at client, 50 range queries)"),
+    )
+    hilbert, unsorted_ = rows
+    assert float(hilbert["cycles"]) < float(unsorted_["cycles"])
+    assert float(hilbert["energy_J"]) < float(unsorted_["energy_J"])
+    assert float(hilbert["leaf_area_ratio"]) < float(unsorted_["leaf_area_ratio"])

@@ -1,0 +1,58 @@
+"""Ablation: NIC SLEEP discipline.
+
+The paper's protocol puts the NIC to SLEEP "before sending the request and
+after getting back the data ... when we are sure that there will be no
+incoming message", paying the 470 us exit latency, and keeps it IDLE only
+while a server response may arrive.  This bench quantifies what that
+discipline is worth against an always-IDLE radio.
+"""
+
+from __future__ import annotations
+
+from repro.bench.report import render_rows
+from repro.constants import MBPS
+from repro.core.executor import Policy
+from repro.core.experiment import plan_workload, price_workload
+from repro.core.schemes import Scheme, SchemeConfig
+from repro.data.workloads import range_queries
+
+CONFIGS = (
+    SchemeConfig(Scheme.FULLY_CLIENT),
+    SchemeConfig(Scheme.FULLY_SERVER, data_at_client=True),
+)
+
+
+def test_ablation_nic_sleep(benchmark, pa_env, pa_full, save_report):
+    qs = range_queries(pa_full, 100)
+    all_plans = {cfg.label: plan_workload(qs, cfg, pa_env) for cfg in CONFIGS}
+
+    def run():
+        rows = []
+        for label, plans in all_plans.items():
+            asleep = price_workload(
+                plans, pa_env, Policy(nic_sleep=True).with_bandwidth(2 * MBPS)
+            )
+            idle = price_workload(
+                plans, pa_env, Policy(nic_sleep=False).with_bandwidth(2 * MBPS)
+            )
+            rows.append(
+                {
+                    "scheme": label,
+                    "sleep_total_J": f"{asleep.energy.total():.4f}",
+                    "idle_total_J": f"{idle.energy.total():.4f}",
+                    "saving": f"{1 - asleep.energy.total() / idle.energy.total():.1%}",
+                    "sleep_exits_cost_s": f"{asleep.wall_seconds - idle.wall_seconds:+.4f}",
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_report(
+        "ablation_nic_sleep",
+        render_rows(rows, "Ablation: NIC SLEEP vs always-IDLE during quiet periods (2 Mbps)"),
+    )
+    # Fully-at-client gains the most: its NIC would otherwise idle for the
+    # whole computation.
+    fc_saving = float(rows[0]["saving"].rstrip("%"))
+    fs_saving = float(rows[1]["saving"].rstrip("%"))
+    assert fc_saving > fs_saving > 0.0

@@ -1,0 +1,64 @@
+"""Extension bench: the scheme advisor's policy table at full scale.
+
+The paper hopes its findings "provide a more systematic way of designing
+and implementing applications"; the advisor is that system.  This bench
+profiles the full-scale PA range workload once and prints the advised
+scheme over the (bandwidth, distance) grid for both objectives, asserting
+the picks reproduce the paper's headline winners.
+"""
+
+from __future__ import annotations
+
+from repro.bench.report import render_rows
+from repro.constants import BANDWIDTHS_MBPS, MBPS
+from repro.core.advisor import Objective, SchemeAdvisor
+from repro.core.executor import Policy
+from repro.core.schemes import Scheme
+from repro.data.workloads import range_queries
+
+
+def test_ext_advisor_policy_table(benchmark, pa_env, pa_full, save_report):
+    advisor = SchemeAdvisor(pa_env)
+    profile = advisor.profile(range_queries(pa_full, 100))
+
+    def run():
+        rows = []
+        for distance in (100.0, 1000.0):
+            for bw in BANDWIDTHS_MBPS:
+                policy = (
+                    Policy().with_bandwidth(bw * MBPS).with_distance(distance)
+                )
+                battery = advisor.advise(profile, policy, Objective.battery())
+                latency = advisor.advise(profile, policy, Objective.latency())
+                rows.append(
+                    {
+                        "distance_m": distance,
+                        "Mbps": bw,
+                        "battery_pick": battery.label,
+                        "latency_pick": latency.label,
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_report(
+        "ext_advisor",
+        render_rows(
+            rows, "Extension: advised scheme per operating point (PA range queries)"
+        ),
+    )
+    by = {(r["distance_m"], r["Mbps"]): r for r in rows}
+    # Fig 5 headline: at 1 km / 2 Mbps battery stays on the device while
+    # latency already prefers the server...
+    assert by[(1000.0, 2.0)]["battery_pick"] == "Fully at the Client"
+    assert "Server" in by[(1000.0, 2.0)]["latency_pick"]
+    # ...and by 11 Mbps both objectives agree on offloading.
+    assert "Server" in by[(1000.0, 11.0)]["battery_pick"]
+    # Shorter transmit distance can only move the battery crossover earlier.
+    def battery_crossover(distance):
+        for bw in BANDWIDTHS_MBPS:
+            if "Server" in by[(distance, bw)]["battery_pick"]:
+                return bw
+        return float("inf")
+
+    assert battery_crossover(100.0) <= battery_crossover(1000.0)

@@ -1,0 +1,72 @@
+"""Extension bench: consistency policies under server-side churn.
+
+The paper's caching results assume static data; its future work asks what
+happens "when data is frequently modified (and the latest copy needs to be
+obtained from the server)".  This bench sweeps the server update rate and
+reports, per consistency policy, the client's energy and the fraction of
+stale answers — making the freshness/energy trade-off explicit:
+
+* NONE keeps the cached client's energy advantage but serves stale answers
+  as churn grows;
+* VERIFY eliminates staleness but pays a transmit per local hit, eroding
+  the advantage;
+* TTL sits between, tunable by its expiry.
+"""
+
+from __future__ import annotations
+
+from repro.bench.report import render_rows
+from repro.constants import MBPS
+from repro.core.executor import Policy
+from repro.core.freshness import FreshClientSession, FreshnessPolicy, UpdateStream
+from repro.data.workloads import proximity_sequence
+
+BUDGET = 1 << 20
+RATES = (0.0, 1.0, 10.0, 100.0)
+
+
+def test_ext_freshness(benchmark, pa_env, pa_full, save_report):
+    qs = proximity_sequence(pa_full, y=80, n_groups=2, seed=67)
+    pricing = Policy().with_bandwidth(11 * MBPS)
+
+    def run():
+        rows = []
+        for rate in RATES:
+            for policy in FreshnessPolicy:
+                pa_env.reset_caches()
+                stream = UpdateStream(
+                    len(pa_env.tree.entry_ids), rate, seed=71
+                )
+                sess = FreshClientSession(
+                    pa_env, BUDGET, stream, policy=policy,
+                    pricing=pricing, ttl_s=120.0,
+                )
+                stats = sess.run(qs)
+                rows.append(
+                    {
+                        "updates_per_s": rate,
+                        "policy": policy.value,
+                        "energy_J": f"{stats.energy.total():.4f}",
+                        "stale_frac": f"{stats.staleness:.1%}",
+                        "refetches": stats.refetches,
+                        "verifications": stats.verifications,
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_report(
+        "ext_freshness",
+        render_rows(rows, "Extension: consistency policy vs server update rate "
+                          "(162 proximate range queries, 1 MB buffer, 11 Mbps)"),
+    )
+    by = {(r["updates_per_s"], r["policy"]): r for r in rows}
+    # VERIFY is never stale; NONE goes stale under churn.
+    for rate in RATES:
+        assert by[(rate, "verify")]["stale_frac"] == "0.0%"
+    assert float(by[(100.0, "none")]["stale_frac"].rstrip("%")) > 10.0
+    # At zero churn all policies are staleness-free and NONE is cheapest.
+    assert by[(0.0, "none")]["stale_frac"] == "0.0%"
+    e_none = float(by[(0.0, "none")]["energy_J"])
+    e_verify = float(by[(0.0, "verify")]["energy_J"])
+    assert e_none < e_verify

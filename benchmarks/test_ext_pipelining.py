@@ -1,0 +1,60 @@
+"""Extension bench: pipelined client/server execution (paper future work).
+
+Quantifies the paper's suggestion to "exploit parallelism between client
+and server executions": with queries streamed FIFO, the client computes
+query i+1 while query i's request is in flight.  The paper's sequential
+measurements are conservative exactly by the speedups shown here; energy is
+essentially unchanged (the same work happens, just packed tighter).
+"""
+
+from __future__ import annotations
+
+from repro.bench.report import render_rows
+from repro.constants import BANDWIDTHS_MBPS, MBPS
+from repro.core.executor import Policy
+from repro.core.experiment import plan_workload, price_workload
+from repro.core.pipeline import price_pipelined_workload
+from repro.core.schemes import Scheme, SchemeConfig
+from repro.data.workloads import range_queries
+
+CONFIGS = (
+    SchemeConfig(Scheme.FULLY_SERVER, data_at_client=True),
+    SchemeConfig(Scheme.FILTER_CLIENT_REFINE_SERVER, data_at_client=True),
+    SchemeConfig(Scheme.FILTER_SERVER_REFINE_CLIENT, data_at_client=True),
+)
+
+
+def test_ext_pipelining(benchmark, pa_env, pa_full, save_report):
+    qs = range_queries(pa_full, 100)
+    all_plans = {cfg.label: plan_workload(qs, cfg, pa_env) for cfg in CONFIGS}
+
+    def run():
+        rows = []
+        for label, plans in all_plans.items():
+            for bw in (2.0, 11.0):
+                policy = Policy().with_bandwidth(bw * MBPS)
+                pipe = price_pipelined_workload(plans, pa_env, policy)
+                seq = price_workload(plans, pa_env, policy)
+                rows.append(
+                    {
+                        "scheme": label,
+                        "Mbps": bw,
+                        "sequential_s": f"{seq.wall_seconds:.3f}",
+                        "pipelined_s": f"{pipe.wall_seconds:.3f}",
+                        "speedup": f"{pipe.speedup:.2f}x",
+                        "energy_delta": f"{pipe.energy.total() / seq.energy.total() - 1:+.1%}",
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_report(
+        "ext_pipelining",
+        render_rows(rows, "Extension: pipelined vs sequential execution (100 range queries, PA)"),
+    )
+    # Every communication scheme must gain and stay energy-neutral-ish.
+    for r in rows:
+        assert float(r["speedup"].rstrip("x")) >= 1.0
+        assert abs(float(r["energy_delta"].rstrip("%"))) < 25.0
+    # At least one configuration shows a solid (>1.3x) win.
+    assert any(float(r["speedup"].rstrip("x")) > 1.3 for r in rows)

@@ -1,0 +1,155 @@
+"""Extension bench: partitioning a spatial join ("find every bridge").
+
+The paper's future work asks for "consideration of other spatial queries";
+the natural next one for line-segment road atlases is the layer join —
+roads x rivers = bridge/culvert sites.  The join has the same two-phase
+shape the paper partitions on (synchronized-traversal MBR filtering, then
+exact segment-segment refinement), so all four Table 1 schemes apply.
+
+This bench runs the PA roads x waterways join under each scheme across the
+bandwidth sweep.  The join amplifies the paper's range-query findings: its
+candidate set is large relative to the per-query request, so the hybrids'
+message legs — candidate *pairs* are two object references wide — dominate
+even more sharply than in Figure 5.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.report import render_rows
+from repro.constants import BANDWIDTHS_MBPS, MBPS
+from repro.core.executor import (
+    ClientComputeStep,
+    Environment,
+    Policy,
+    QueryPlan,
+    RecvStep,
+    SendStep,
+    ServerComputeStep,
+    price_plan,
+)
+from repro.core.messages import Payload, request_payload
+from repro.core.schemes import Scheme, SchemeConfig
+from repro.data.tiger import waterways_dataset
+from repro.sim.trace import OpCounter
+from repro.spatial.join import refine_join, rtree_join
+from repro.spatial.rtree import PackedRTree
+
+#: Wire size of one candidate/result pair: two 16-byte object references.
+PAIR_BYTES = 32
+ROADS_SCALE_NOTE = "full PA roads x 12 waterways"
+
+
+def _join_plans(env_roads: Environment, rivers_tree: PackedRTree):
+    """Build the four scheme plans for the roads x rivers join."""
+    costs = env_roads.dataset.costs
+    roads_tree = env_roads.tree
+
+    filt_counter = OpCounter(record_trace=False)
+    candidates = rtree_join(roads_tree, rivers_tree, filt_counter)
+    ref_counter = OpCounter(record_trace=False)
+    results = refine_join(roads_tree, rivers_tree, candidates, ref_counter)
+    full_counter = filt_counter.copy_counts()
+    full_counter.merge(ref_counter.copy_counts())
+
+    client = env_roads.client_cpu
+    server = env_roads.server_cpu
+    n_cand, n_res = len(candidates), len(results)
+
+    def mk(steps):
+        return QueryPlan(
+            query=None,
+            config=SchemeConfig(Scheme.FULLY_CLIENT),
+            steps=steps,
+            answer_ids=np.empty(0, dtype=np.int64),
+            n_candidates=n_cand,
+            n_results=n_res,
+        )
+
+    plans = {}
+    env_roads.reset_caches()
+    plans["Fully at the Client"] = mk(
+        [ClientComputeStep(client.compute(full_counter), "join at client")]
+    )
+    env_roads.reset_caches()
+    plans["Fully at the Server (ids back)"] = mk(
+        [
+            SendStep(request_payload(costs)),
+            ServerComputeStep(server.compute(full_counter).cycles, "join"),
+            RecvStep(Payload(n_res * PAIR_BYTES, "result pairs")),
+        ]
+    )
+    env_roads.reset_caches()
+    plans["Filtering at Client, Refinement at Server"] = mk(
+        [
+            ClientComputeStep(client.compute(filt_counter), "MBR join"),
+            SendStep(
+                Payload(
+                    costs.request_bytes + n_cand * PAIR_BYTES, "candidate pairs"
+                )
+            ),
+            ServerComputeStep(server.compute(ref_counter).cycles, "refine"),
+            RecvStep(Payload(n_res * PAIR_BYTES, "result pairs")),
+        ]
+    )
+    env_roads.reset_caches()
+    plans["Filtering at Server, Refinement at Client"] = mk(
+        [
+            SendStep(request_payload(costs)),
+            ServerComputeStep(server.compute(filt_counter).cycles, "MBR join"),
+            RecvStep(Payload(n_cand * PAIR_BYTES, "candidate pairs")),
+            ClientComputeStep(client.compute(ref_counter), "refine at client"),
+        ]
+    )
+    return plans, n_cand, n_res
+
+
+def test_ext_spatial_join(benchmark, pa_env, pa_full, save_report):
+    rivers = waterways_dataset(pa_full, n_rivers=12, seed=5)
+    rivers_tree = PackedRTree.build(rivers)
+    plans, n_cand, n_res = _join_plans(pa_env, rivers_tree)
+
+    def run():
+        rows = []
+        for label, plan in plans.items():
+            for bw in BANDWIDTHS_MBPS:
+                r = price_plan(
+                    plan, pa_env, Policy().with_bandwidth(bw * MBPS)
+                )
+                rows.append(
+                    {
+                        "scheme": label,
+                        "Mbps": bw,
+                        "energy_J": f"{r.energy.total():.4f}",
+                        "cycles": f"{r.cycles.total():.3e}",
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_report(
+        "ext_spatial_join",
+        render_rows(
+            rows,
+            f"Extension: roads x rivers join ({ROADS_SCALE_NOTE}; "
+            f"{n_cand} candidate pairs -> {n_res} crossings)",
+        ),
+    )
+    by = {(r["scheme"], r["Mbps"]): r for r in rows}
+    fc = float(by[("Fully at the Client", 2.0)]["energy_J"])
+    # The join is compute-heavy: offloading it fully wins cycles at every
+    # bandwidth, like the range query's fully-at-server path...
+    for bw in BANDWIDTHS_MBPS:
+        assert float(
+            by[("Fully at the Server (ids back)", bw)]["cycles"]
+        ) < float(by[("Fully at the Client", bw)]["cycles"])
+    # ...while the candidate-pair transmit keeps filter-at-client the worst
+    # scheme on energy at every bandwidth (the Figure 5(b) effect, amplified).
+    for bw in BANDWIDTHS_MBPS:
+        energies = {s: float(by[(s, bw)]["energy_J"]) for s, _ in by if _ == bw}
+        assert (
+            energies["Filtering at Client, Refinement at Server"]
+            == max(energies.values())
+        )
+    assert n_res > 0

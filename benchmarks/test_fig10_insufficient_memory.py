@@ -1,0 +1,51 @@
+"""Figure 10: insufficient client memory — caching vs always-at-server.
+
+Paper shape: with enough spatial proximity (y follow-up queries near each
+anchor) the cached client becomes *energy*-cheaper than shipping every query
+to the server — beyond y~115 for a 1 MB buffer and y~200 for 2 MB — while
+the server stays the *performance* winner across the whole sweep (energy
+and performance optimize in opposite directions here).
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import fig10_insufficient_memory
+from repro.bench.report import ascii_chart, render_fig10
+
+
+def test_fig10_insufficient_memory(benchmark, pa_env, save_report):
+    rows = benchmark.pedantic(
+        fig10_insufficient_memory, args=(pa_env,), rounds=1, iterations=1
+    )
+    charts = []
+    for budget in (1 << 20, 2 << 20):
+        pts = [r for r in rows if r.buffer_bytes == budget]
+        charts.append(
+            ascii_chart(
+                {
+                    "client": [(r.y, r.client_energy_j) for r in pts],
+                    "server": [(r.y, r.server_energy_j) for r in pts],
+                },
+                title=f"energy (J) vs spatial proximity y — {budget >> 20} MB buffer",
+                y_label="J",
+            )
+        )
+    save_report(
+        "fig10_insufficient_memory",
+        render_fig10(rows, "Figure 10: Insufficient Memory, Range Queries, 11 Mbps")
+        + "\n\n" + "\n\n".join(charts),
+    )
+
+    def crossover(budget):
+        for r in rows:
+            if r.buffer_bytes == budget and r.client_energy_j < r.server_energy_j:
+                return r.y
+        return None
+
+    x1 = crossover(1 << 20)
+    x2 = crossover(2 << 20)
+    assert x1 is not None and x2 is not None
+    assert x2 > x1  # bigger shipment needs more proximity to amortize
+    # Server wins performance across the spectrum.
+    for r in rows:
+        assert r.server_cycles < r.client_cycles

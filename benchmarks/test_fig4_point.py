@@ -1,0 +1,30 @@
+"""Figure 4: point queries on PA — energy and cycles vs bandwidth.
+
+Paper shape: the communication cost of even one small request/response
+round-trip dwarfs the point query's tiny computation, so every partitioned
+scheme loses to fully-at-client on both metrics at every bandwidth, and the
+partitioned schemes are nearly indistinguishable from each other.
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import POINT_NN_CONFIGS, fig4_point_queries
+from repro.bench.report import render_sweep
+from repro.core.schemes import Scheme
+
+
+def test_fig4_point_queries(benchmark, pa_env, save_report):
+    sweep = benchmark.pedantic(
+        fig4_point_queries, args=(pa_env,), rounds=1, iterations=1
+    )
+    save_report(
+        "fig4_point_pa",
+        render_sweep(sweep, "Figure 4: Point Queries, PA, C/S=1/8, 1 km"),
+    )
+    fc_label = POINT_NN_CONFIGS[0].label
+    fc_energy = sweep[fc_label][0].energy_j
+    fc_cycles = sweep[fc_label][0].cycles
+    for cfg in POINT_NN_CONFIGS[1:]:
+        for cell in sweep[cfg.label]:
+            assert cell.energy_j > fc_energy
+            assert cell.cycles > fc_cycles

@@ -1,0 +1,39 @@
+"""Figure 5: range queries on PA — the paper's headline result.
+
+Paper shape: work partitioning pays for range queries.  Fully-at-server
+with data present beats fully-at-client on cycles already at 2 Mbps but
+needs more than 6 Mbps to win on energy; among the hybrids, performance
+picks filter-at-client/refine-at-server while energy picks
+filter-at-server/refine-at-client.
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import fig5_range_queries
+from repro.bench.report import render_sweep
+from repro.core.schemes import Scheme, SchemeConfig
+
+FC = SchemeConfig(Scheme.FULLY_CLIENT).label
+FS_PRESENT = SchemeConfig(Scheme.FULLY_SERVER, data_at_client=True).label
+B = SchemeConfig(Scheme.FILTER_CLIENT_REFINE_SERVER, data_at_client=True).label
+C = SchemeConfig(Scheme.FILTER_SERVER_REFINE_CLIENT, data_at_client=True).label
+
+
+def test_fig5_range_queries_pa(benchmark, pa_env, save_report):
+    sweep = benchmark.pedantic(
+        fig5_range_queries, args=(pa_env,), rounds=1, iterations=1
+    )
+    save_report(
+        "fig5_range_pa",
+        render_sweep(sweep, "Figure 5: Range Queries, PA, C/S=1/8, 1 km"),
+    )
+    by_bw = {lab: {c.bandwidth_mbps: c for c in cells} for lab, cells in sweep.items()}
+    # Cycles: fully-at-server (data present) wins at 2 Mbps already.
+    assert by_bw[FS_PRESENT][2.0].cycles < by_bw[FC][2.0].cycles
+    # Energy: it takes over 6 Mbps for the same scheme to win on energy.
+    assert by_bw[FS_PRESENT][6.0].energy_j > by_bw[FC][6.0].energy_j
+    assert by_bw[FS_PRESENT][11.0].energy_j < by_bw[FC][11.0].energy_j
+    # The two metrics pick different hybrid winners.
+    for bw in (4.0, 6.0, 8.0, 11.0):
+        assert by_bw[B][bw].cycles < by_bw[C][bw].cycles
+        assert by_bw[C][bw].energy_j < by_bw[B][bw].energy_j

@@ -1,0 +1,29 @@
+"""Figure 6: nearest-neighbor queries on PA.
+
+The NN search has no separate filtering/refinement phases, so only the two
+'fully at' executions apply; with its tiny selectivity it behaves like the
+point query — fully-at-client wins both metrics at every bandwidth.
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import fig6_nn_queries
+from repro.bench.report import render_sweep
+from repro.core.schemes import Scheme, SchemeConfig
+
+FC = SchemeConfig(Scheme.FULLY_CLIENT).label
+FS = SchemeConfig(Scheme.FULLY_SERVER, data_at_client=True).label
+
+
+def test_fig6_nn_queries(benchmark, pa_env, save_report):
+    sweep = benchmark.pedantic(
+        fig6_nn_queries, args=(pa_env,), rounds=1, iterations=1
+    )
+    save_report(
+        "fig6_nn_pa",
+        render_sweep(sweep, "Figure 6: Nearest Neighbor Queries, PA, C/S=1/8, 1 km"),
+    )
+    fc = sweep[FC][0]
+    for cell in sweep[FS]:
+        assert cell.energy_j > fc.energy_j
+        assert cell.cycles > fc.cycles

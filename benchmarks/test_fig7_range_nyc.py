@@ -1,0 +1,40 @@
+"""Figure 7: dataset sensitivity — range queries on NYC.
+
+NYC's smaller filter selectivity shrinks the hybrid schemes' message
+volumes (the paper: the filter-at-client transmit and the filter-at-server
+receive are both lower than on PA), while the Figure 5 orderings persist.
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import fig5_range_queries
+from repro.bench.report import render_sweep
+from repro.core.schemes import Scheme, SchemeConfig
+
+FC = SchemeConfig(Scheme.FULLY_CLIENT).label
+FS_PRESENT = SchemeConfig(Scheme.FULLY_SERVER, data_at_client=True).label
+B = SchemeConfig(Scheme.FILTER_CLIENT_REFINE_SERVER, data_at_client=True).label
+C = SchemeConfig(Scheme.FILTER_SERVER_REFINE_CLIENT, data_at_client=True).label
+
+
+def test_fig7_range_queries_nyc(benchmark, nyc_env, pa_env, save_report):
+    sweep = benchmark.pedantic(
+        fig5_range_queries, args=(nyc_env,), rounds=1, iterations=1
+    )
+    save_report(
+        "fig7_range_nyc",
+        render_sweep(sweep, "Figure 7: Range Queries, NYC, C/S=1/8, 1 km"),
+    )
+    pa_sweep = fig5_range_queries(pa_env)
+    for i in range(len(sweep[B])):
+        # Hybrid message legs strictly cheaper than PA's (smaller selectivity).
+        assert (
+            sweep[B][i].result.energy.nic_tx
+            < pa_sweep[B][i].result.energy.nic_tx
+        )
+        assert (
+            sweep[C][i].result.energy.nic_rx
+            < pa_sweep[C][i].result.energy.nic_rx
+        )
+    by_bw = {lab: {c.bandwidth_mbps: c for c in cells} for lab, cells in sweep.items()}
+    assert by_bw[FS_PRESENT][2.0].cycles < by_bw[FC][2.0].cycles

@@ -1,0 +1,46 @@
+"""Figure 8: impact of client CPU speed (MhzC = MhzS/2).
+
+A 4x faster client shrinks the wall-clock of client-heavy schemes (cycle
+counts are denominated in the new, faster clock: wire time converts to 4x
+the cycles while compute cycles stay put) with little impact on energy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.figures import fig5_range_queries, fig8_client_speed
+from repro.bench.report import render_sweep
+from repro.core.schemes import Scheme, SchemeConfig
+
+FC = SchemeConfig(Scheme.FULLY_CLIENT).label
+B = SchemeConfig(Scheme.FILTER_CLIENT_REFINE_SERVER, data_at_client=True).label
+
+
+def test_fig8_client_speed(benchmark, pa_full, pa_env, save_report):
+    sweep_fast = benchmark.pedantic(
+        fig8_client_speed, args=(pa_full,), kwargs={"clock_ratio": 0.5},
+        rounds=1, iterations=1,
+    )
+    save_report(
+        "fig8_range_pa_cs_half",
+        render_sweep(
+            sweep_fast,
+            "Figure 8: Range Queries, PA, C/S=1/2 (cycles in the 500 MHz clock)",
+        ),
+    )
+    sweep_slow = fig5_range_queries(pa_env)
+    # Fully-at-client compute cycles are clock-invariant...
+    fast_fc = sweep_fast[FC][0].result
+    slow_fc = sweep_slow[FC][0].result
+    assert fast_fc.cycles.processor == pytest.approx(
+        slow_fc.cycles.processor, rel=0.02
+    )
+    # ...so its wall time shrinks 4x.
+    assert fast_fc.wall_seconds == pytest.approx(slow_fc.wall_seconds / 4, rel=0.02)
+    # Communication legs take 4x the (faster) cycles at the same bandwidth.
+    fast_b = sweep_fast[B][0].result
+    slow_b = sweep_slow[B][0].result
+    assert fast_b.cycles.nic_tx == pytest.approx(4 * slow_b.cycles.nic_tx, rel=0.02)
+    # Energy moves only second-order.
+    assert fast_b.energy.total() == pytest.approx(slow_b.energy.total(), rel=0.3)

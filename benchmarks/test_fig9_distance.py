@@ -1,0 +1,39 @@
+"""Figure 9: energy at 100 m client/base-station distance.
+
+Transmit power drops from ~3 W to ~1 W at 100 m, so the transmit-heavy
+schemes (filter-at-client foremost) become far more energy-competitive;
+cycles are unaffected.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.figures import fig5_range_queries, fig9_distance
+from repro.bench.report import render_sweep
+from repro.core.schemes import Scheme, SchemeConfig
+
+B = SchemeConfig(Scheme.FILTER_CLIENT_REFINE_SERVER, data_at_client=True).label
+FS = SchemeConfig(Scheme.FULLY_SERVER, data_at_client=True).label
+
+
+def test_fig9_distance_100m(benchmark, pa_env, save_report):
+    sweep_near = benchmark.pedantic(
+        fig9_distance, args=(pa_env,), kwargs={"distance_m": 100.0},
+        rounds=1, iterations=1,
+    )
+    save_report(
+        "fig9_range_pa_100m",
+        render_sweep(
+            sweep_near,
+            "Figure 9: Range Queries, PA, 100 m transmit distance (energy)",
+            metric="energy",
+        ),
+    )
+    sweep_far = fig5_range_queries(pa_env)
+    for label in (B, FS):
+        for near, far in zip(sweep_near[label], sweep_far[label]):
+            assert near.result.energy.nic_tx == pytest.approx(
+                far.result.energy.nic_tx * 1.0891 / 3.0891, rel=1e-6
+            )
+            assert near.cycles == pytest.approx(far.cycles, rel=1e-9)

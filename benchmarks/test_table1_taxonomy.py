@@ -1,0 +1,18 @@
+"""Table 1: the work-partitioning and data-placement taxonomy.
+
+Regenerates the taxonomy table from :mod:`repro.core.schemes` and times the
+validation machinery (trivially fast; the table itself is the artifact).
+"""
+
+from __future__ import annotations
+
+from repro.bench.report import render_rows
+from repro.core.schemes import ADEQUATE_MEMORY_CONFIGS, table1_rows
+
+
+def test_table1_taxonomy(benchmark, save_report):
+    rows = benchmark(table1_rows)
+    assert len(rows) == 8
+    save_report("table1_taxonomy", render_rows(rows, "Table 1: Work Partitioning and Data Placement Choices"))
+    # Cross-check: the executable configs cover the adequate-memory rows.
+    assert len(ADEQUATE_MEMORY_CONFIGS) == 6

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Battery planner: map the best scheme over the (bandwidth, distance) grid.
+
+For a given query workload, sweeps the wireless conditions the paper
+studies — effective bandwidth 2..11 Mbps and base-station distance 100 m /
+1 km — and prints, per grid cell, which work-partitioning scheme a
+battery-optimizing and a latency-optimizing device should pick, plus the
+battery-life implication of choosing wrong.
+
+This is the decision tool a mobile SDBMS would embed: the paper's figures,
+reduced to a policy table.
+
+Run:  python examples/battery_planner.py [--query range|point|nn]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import Policy, quick_environment
+from repro.constants import BANDWIDTHS_MBPS, MBPS
+from repro.core import Scheme, SchemeConfig
+from repro.core.experiment import plan_workload, price_workload
+from repro.data.workloads import nn_queries, point_queries, range_queries
+
+SCHEMES = {
+    "FC": SchemeConfig(Scheme.FULLY_CLIENT),
+    "FS": SchemeConfig(Scheme.FULLY_SERVER, data_at_client=True),
+    "F@C": SchemeConfig(Scheme.FILTER_CLIENT_REFINE_SERVER, data_at_client=True),
+    "F@S": SchemeConfig(Scheme.FILTER_SERVER_REFINE_CLIENT, data_at_client=True),
+}
+FULL_ONLY = {"FC": SCHEMES["FC"], "FS": SCHEMES["FS"]}
+
+#: A PDA-class battery: 2 x AAA NiMH ~ 2.4 Wh ~ 8.6 kJ.
+BATTERY_J = 8_640.0
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--query", choices=("range", "point", "nn"), default="range")
+    ap.add_argument("--runs", type=int, default=40)
+    ap.add_argument("--scale", type=float, default=0.25)
+    args = ap.parse_args()
+
+    env = quick_environment("PA", scale=args.scale)
+    if args.query == "range":
+        qs = range_queries(env.dataset, args.runs)
+        schemes = SCHEMES
+    elif args.query == "point":
+        qs = point_queries(env.dataset, args.runs)
+        schemes = {k: v for k, v in SCHEMES.items() if k != "F@C"} | {
+            "F@C": SchemeConfig(
+                Scheme.FILTER_CLIENT_REFINE_SERVER, data_at_client=False
+            )
+        }
+    else:
+        qs = nn_queries(env.dataset, args.runs)
+        schemes = FULL_ONLY
+
+    plans = {k: plan_workload(qs, cfg, env) for k, cfg in schemes.items()}
+
+    print(
+        f"{args.runs} {args.query} queries on {env.dataset.name} "
+        f"({env.dataset.size} segments); legend: "
+        + ", ".join(f"{k}={cfg.label}" for k, cfg in schemes.items())
+    )
+    header = f"{'distance':>9} {'Mbps':>5}  {'battery pick':>12} {'latency pick':>13}  {'queries/charge':>15} {'penalty if wrong':>17}"
+    print(header)
+    print("-" * len(header))
+    for distance in (100.0, 1000.0):
+        for bw in BANDWIDTHS_MBPS:
+            policy = Policy().with_bandwidth(bw * MBPS).with_distance(distance)
+            cells = {
+                k: price_workload(p, env, policy) for k, p in plans.items()
+            }
+            e_best = min(cells, key=lambda k: cells[k].energy.total())
+            c_best = min(cells, key=lambda k: cells[k].cycles.total())
+            per_query_j = cells[e_best].energy.total() / args.runs
+            queries_per_charge = BATTERY_J / per_query_j
+            # Energy penalty of running the latency-optimal scheme instead.
+            penalty = (
+                cells[c_best].energy.total() / cells[e_best].energy.total() - 1.0
+            )
+            print(
+                f"{distance:7.0f} m {bw:5.1f}  {e_best:>12} {c_best:>13}"
+                f"  {queries_per_charge:15,.0f} {penalty:16.0%}"
+            )
+    print(
+        "\nReading the table: when the battery pick and the latency pick "
+        "differ, the last column is the battery cost of chasing latency — "
+        "the energy/performance tension of the paper's Figures 5 and 10."
+    )
+
+
+if __name__ == "__main__":
+    main()

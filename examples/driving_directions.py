@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Driving directions on a memory-constrained device.
+
+The paper's road-atlas motivation lists "driving directions (shortest path
+problem)" first among the operations users run.  This example combines the
+whole stack:
+
+1. build the street graph from the segment dataset (networkx, nodes =
+   street intersections, edges = segments weighted by length);
+2. compute a shortest route between two towns;
+3. *drive* it: the device issues a range query ("show my surroundings")
+   every few hundred meters along the route, under the insufficient-memory
+   cached-client scheme — the sequence of nearby windows is exactly the
+   spatial-proximity workload of the paper's section 6.2, so the server's
+   shipped regions amortize over many route steps;
+4. compare against shipping every window query to the server, in both
+   energy and latency.
+
+Run:  python examples/driving_directions.py [--scale 0.25] [--budget-kb 512]
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+
+import networkx as nx
+import numpy as np
+
+from repro import Policy, quick_environment
+from repro.constants import MBPS
+from repro.core import RangeQuery, Scheme, SchemeConfig
+from repro.core.clientcache import ClientCacheSession
+from repro.core.executor import price_plan
+from repro.core.experiment import plan_workload, price_workload
+from repro.data.tiger import street_name
+from repro.spatial.mbr import MBR
+
+SERVER = SchemeConfig(Scheme.FULLY_SERVER, data_at_client=False)
+
+
+def build_street_graph(ds) -> nx.Graph:
+    """Street intersections as nodes (coordinates rounded to merge shared
+    endpoints), segments as length-weighted edges."""
+    g = nx.Graph()
+    for i in range(ds.size):
+        a = (round(float(ds.x1[i]), 3), round(float(ds.y1[i]), 3))
+        b = (round(float(ds.x2[i]), 3), round(float(ds.y2[i]), 3))
+        length = math.hypot(b[0] - a[0], b[1] - a[1])
+        if length == 0:
+            continue
+        g.add_edge(a, b, weight=length, seg_id=i)
+    return g
+
+
+def pick_route(g: nx.Graph, rng: np.random.Generator):
+    """A long route within the graph's largest connected component."""
+    comp = max(nx.connected_components(g), key=len)
+    nodes = sorted(comp)
+    # Farthest-apart pair among a sample, for a representative drive.
+    sample = [nodes[int(i)] for i in rng.integers(0, len(nodes), 40)]
+    src, dst = max(
+        ((a, b) for a in sample for b in sample),
+        key=lambda ab: math.hypot(ab[0][0] - ab[1][0], ab[0][1] - ab[1][1]),
+    )
+    return nx.shortest_path(g, src, dst, weight="weight")
+
+
+def windows_along(route, every_m: float, half_m: float):
+    """A map window centered on the route every ``every_m`` meters."""
+    out = []
+    acc = 0.0
+    prev = route[0]
+    out.append(prev)
+    for node in route[1:]:
+        acc += math.hypot(node[0] - prev[0], node[1] - prev[1])
+        if acc >= every_m:
+            out.append(node)
+            acc = 0.0
+        prev = node
+    return [
+        RangeQuery(MBR(x - half_m, y - half_m, x + half_m, y + half_m))
+        for x, y in out
+    ]
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--scale", type=float, default=0.25)
+    ap.add_argument("--budget-kb", type=int, default=512)
+    ap.add_argument("--bandwidth", type=float, default=11.0)
+    ap.add_argument("--every-m", type=float, default=400.0)
+    ap.add_argument("--window-m", type=float, default=600.0)
+    args = ap.parse_args()
+
+    env = quick_environment("PA", scale=args.scale)
+    rng = np.random.default_rng(29)
+    print(f"building street graph over {env.dataset.size} segments ...")
+    g = build_street_graph(env.dataset)
+    route = pick_route(g, rng)
+    route_km = sum(
+        math.hypot(b[0] - a[0], b[1] - a[1]) for a, b in zip(route, route[1:])
+    ) / 1000.0
+    first_edge = g.edges[route[0], route[1]]
+    print(
+        f"route: {len(route)} intersections, {route_km:.1f} km, starting on "
+        f"{street_name(first_edge['seg_id'])}"
+    )
+
+    queries = windows_along(route, args.every_m, args.window_m / 2)
+    print(f"driving it: {len(queries)} map windows, one every ~{args.every_m:.0f} m\n")
+    policy = Policy().with_bandwidth(args.bandwidth * MBPS)
+
+    # Strategy A: every window to the server.
+    env.reset_caches()
+    server = price_workload(
+        plan_workload(queries, SERVER, env), env, policy
+    )
+    print(
+        f"ask-the-server : {server.energy.total() * 1e3:8.2f} mJ, "
+        f"{server.wall_seconds:6.2f} s, {len(queries)} round trips"
+    )
+
+    # Strategy B: cached regions shipped along the way (section 6.2).
+    env.reset_caches()
+    session = ClientCacheSession(env, args.budget_kb * 1024)
+    plans = session.plan_sequence(queries)
+    results = [price_plan(p, env, policy) for p in plans]
+    total_e = sum(r.energy.total() for r in results)
+    total_s = sum(r.wall_seconds for r in results)
+    print(
+        f"cached regions : {total_e * 1e3:8.2f} mJ, {total_s:6.2f} s, "
+        f"{session.misses} shipment(s) + {session.local_hits} local windows"
+    )
+    hits_per_ship = session.local_hits / max(1, session.misses)
+    print(
+        f"\nEn route, a linear corridor crosses many of the server's "
+        f"(blob-shaped) shipment regions: only {hits_per_ship:.1f} local "
+        f"windows per shipment, below the ~{args.budget_kb // 10} needed to "
+        f"amortize a {args.budget_kb} KB transfer — so the drive itself "
+        f"favors ask-the-server.  The paper's section 6.2 locality shows up "
+        f"when the car *stops*:"
+    )
+
+    # Phase 2: arrive and browse around the destination (the section 6.2
+    # regime) — the already-shipped region now absorbs everything.
+    dest = route[-1]
+    rng2 = np.random.default_rng(31)
+    browse = []
+    for _ in range(80):
+        dx, dy = rng2.uniform(-400, 400, 2)
+        half = args.window_m / 2
+        browse.append(
+            RangeQuery(
+                MBR(dest[0] + dx - half, dest[1] + dy - half,
+                    dest[0] + dx + half, dest[1] + dy + half)
+            )
+        )
+    misses_before = session.misses
+    browse_plans = session.plan_sequence(browse)
+    browse_results = [price_plan(p, env, policy) for p in browse_plans]
+    browse_e = sum(r.energy.total() for r in browse_results)
+    env.reset_caches()
+    browse_server = price_workload(
+        plan_workload(browse, SERVER, env), env, policy
+    )
+    print(
+        f"\nbrowsing 80 windows around the destination:\n"
+        f"  ask-the-server : {browse_server.energy.total() * 1e3:8.2f} mJ\n"
+        f"  cached region  : {browse_e * 1e3:8.2f} mJ "
+        f"({session.misses - misses_before} shipment(s) for 80 windows)"
+    )
+    winner = (
+        "cached region" if browse_e < browse_server.energy.total()
+        else "ask-the-server"
+    )
+    print(
+        f"\nAt the destination, '{winner}' wins: stop-and-browse has the "
+        f"spatial proximity that Figure 10 rewards, while the drive itself "
+        f"does not — locality, not caching per se, is what pays."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Tourist district on game day: broadcast a hot region, never transmit.
+
+When thousands of devices browse the same neighbourhood (a stadium
+district, a festival), serving each one point-to-point burns every
+device's transmitter and the server's uplink.  The alternative the paper's
+related work sketches (Imielinski et al., "Energy Efficient Indexing on
+Air"): the base station cyclically *broadcasts* the hot region; devices
+tune in, cache the chunks, and browse locally — their radios transmit
+nothing at all.
+
+This example builds a hot region around a busy intersection, replays a
+browse session under three strategies, and prints the per-device energy:
+
+* ask-the-server   — a round trip per query (transmitter keyed each time);
+* tune per query   — wait for the chunk on every query (no cache);
+* tune once, cache — receive once, browse from memory.
+
+Run:  python examples/hot_region_broadcast.py [--queries 80] [--chunks 16]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import Policy, quick_environment
+from repro.constants import MBPS
+from repro.core import RangeQuery, Scheme, SchemeConfig
+from repro.core.broadcast import BroadcastClient, BroadcastSchedule
+from repro.core.executor import Environment
+from repro.core.experiment import plan_workload, price_workload
+from repro.spatial.extract import coverage_rect, extract_range
+from repro.spatial.mbr import MBR
+
+ON_DEMAND = SchemeConfig(Scheme.FULLY_SERVER, data_at_client=False)
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    # Full-scale default: the hot region's spatial compactness (and with it
+    # the chunk cache's hit rate) depends on the atlas's true density.
+    ap.add_argument("--scale", type=float, default=1.0)
+    ap.add_argument("--queries", type=int, default=80)
+    ap.add_argument("--chunks", type=int, default=16)
+    ap.add_argument("--region-kb", type=int, default=150)
+    ap.add_argument("--bandwidth", type=float, default=2.0)
+    args = ap.parse_args()
+
+    env = quick_environment("PA", scale=args.scale)
+    policy = Policy().with_bandwidth(args.bandwidth * MBPS)
+
+    # Build the hot region: the neighbourhood of a busy intersection.
+    ds = env.dataset
+    i = ds.size // 2
+    ax = float(ds.x1[i] + ds.x2[i]) / 2.0
+    ay = float(ds.y1[i] + ds.y2[i]) / 2.0
+    seed_rect = MBR(ax - 500, ay - 500, ax + 500, ay + 500)
+    cands = env.tree.range_filter(seed_rect)
+    extraction = extract_range(env.tree, cands, ax, ay, args.region_kb * 1024)
+    cov = coverage_rect(env.tree, seed_rect, extraction.entry_lo, extraction.entry_hi)
+    hot = ds.subset(extraction.global_ids, name="hot-district")
+    hot_env = Environment.create(hot)
+    print(
+        f"hot region: {hot.size} segments, "
+        f"{extraction.total_bytes / 1024:.0f} KB, covering "
+        f"{cov.width / 1000:.1f} x {cov.height / 1000:.1f} km "
+        f"of {ds.name} (x{args.scale:g})"
+    )
+
+    # A browse session inside the covered district.
+    rng = np.random.default_rng(3)
+    queries = []
+    for _ in range(args.queries):
+        w = cov.width * rng.uniform(0.05, 0.2)
+        h = cov.height * rng.uniform(0.05, 0.2)
+        x = rng.uniform(cov.xmin, cov.xmax - w)
+        y = rng.uniform(cov.ymin, cov.ymax - h)
+        queries.append(RangeQuery(MBR(x, y, x + w, y + h)))
+
+    sched = BroadcastSchedule(hot_env, n_chunks=args.chunks, network=policy.network)
+    print(
+        f"broadcast cycle: {args.chunks} chunks + air index = "
+        f"{sched.cycle_seconds:.2f} s at {args.bandwidth:g} Mbps\n"
+    )
+
+    env.reset_caches()
+    od = price_workload(plan_workload(queries, ON_DEMAND, env), env, policy)
+    print(
+        f"ask-the-server   : {od.energy.total() * 1e3:8.1f} mJ "
+        f"(tx {od.energy.nic_tx * 1e3:7.1f} mJ) {od.wall_seconds:6.2f} s"
+    )
+    cached_energy = None
+    for label, kwargs in (
+        ("tune per query  ", dict(air_index=True)),
+        ("tune once, cache", dict(air_index=True, cache_chunks=True)),
+    ):
+        client = BroadcastClient(sched, **kwargs)
+        plans = client.plan_workload(queries, seed=11)
+        r = price_workload(plans, hot_env, policy)
+        if kwargs.get("cache_chunks"):
+            cached_energy = r.energy.total()
+        print(
+            f"{label} : {r.energy.total() * 1e3:8.1f} mJ "
+            f"(tx     0.0 mJ) {r.wall_seconds:6.2f} s "
+            f"[{client.receptions} reception(s)]"
+        )
+    if cached_energy is not None and cached_energy < od.energy.total():
+        print(
+            "\nTune-once-and-cache wins on battery while never keying the "
+            "transmitter — and the base station serves every device in range "
+            "with the same airtime."
+        )
+    else:
+        print(
+            "\nHere per-device battery still favors on-demand (the browse "
+            "didn't amortize the slot waits) — but broadcast keeps the "
+            "transmitter silent and serves any number of devices with the "
+            "same airtime; try --chunks 4 or more --queries."
+        )
+
+
+if __name__ == "__main__":
+    main()

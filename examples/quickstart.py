@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Quickstart: build a road atlas, run the three query types, compare the
+cost of answering on the device versus at the server.
+
+Walks the public API end to end on a small synthetic PA-like dataset:
+
+1. generate a dataset and build its Hilbert-packed R-tree,
+2. run a point, a range, and a nearest-neighbor query locally,
+3. execute the same range query under two work-partitioning schemes and
+   print the client's energy/cycle breakdowns.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import Policy, execute, quick_environment
+from repro.core import NNQuery, PointQuery, RangeQuery, Scheme, SchemeConfig
+from repro.data.tiger import street_name
+from repro.spatial.mbr import MBR
+from repro.spatial.stats import tree_stats
+
+
+def main() -> None:
+    # 1. A ready-made environment: dataset + packed R-tree + client/server
+    #    hardware models.  scale=0.1 -> ~13 900 street segments.
+    env = quick_environment("PA", scale=0.1)
+    ds, tree = env.dataset, env.tree
+    print(f"dataset: {ds.name}, {ds.size} segments, extent {ds.extent.width / 1000:.0f} "
+          f"x {ds.extent.height / 1000:.0f} km")
+    print(f"index  : {tree_stats(tree)}\n")
+
+    # 2. Plain local queries through the engine.
+    i = ds.size // 2
+    px, py = float(ds.x1[i]), float(ds.y1[i])
+    hits = env.engine.answer(PointQuery(px, py))
+    print(f"point query at a street corner -> {len(hits.ids)} street(s):")
+    for seg_id in hits.ids[:4]:
+        print(f"   {street_name(int(seg_id))}")
+
+    cx, cy = ds.extent.center()
+    nn = env.engine.answer(NNQuery(cx, cy))
+    print(f"nearest street to the map center -> {street_name(int(nn.ids[0]))}")
+
+    window = MBR(px - 1500, py - 1000, px + 1500, py + 1000)
+    ranged = env.engine.answer(RangeQuery(window))
+    print(f"3 x 2 km window around the corner -> {len(ranged.ids)} segments\n")
+
+    # 3. The same range query under two partitioning schemes, with the full
+    #    client-side energy/cycle accounting, at 2 Mbps / 1 km defaults.
+    policy = Policy()
+    for config in (
+        SchemeConfig(Scheme.FULLY_CLIENT),
+        SchemeConfig(Scheme.FULLY_SERVER, data_at_client=True),
+    ):
+        r = execute(RangeQuery(window), config, env, policy)
+        e, c = r.energy, r.cycles
+        print(f"{config.label}:")
+        print(f"   energy {e.total() * 1e3:7.3f} mJ  "
+              f"(processor {e.processor * 1e3:.3f}, NIC tx {e.nic_tx * 1e3:.3f}, "
+              f"rx {e.nic_rx * 1e3:.3f}, idle {e.nic_idle * 1e3:.3f})")
+        print(f"   cycles {c.total():10.0f}     "
+              f"(compute {c.processor:.0f}, tx {c.nic_tx:.0f}, "
+              f"rx {c.nic_rx:.0f}, wait {c.wait:.0f})")
+    print("\nTry flipping Policy(bandwidth/distance) and watch the winner change —")
+    print("examples/battery_planner.py automates exactly that.")
+
+
+if __name__ == "__main__":
+    main()

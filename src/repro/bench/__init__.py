@@ -1,0 +1,27 @@
+"""Figure and table generators for the paper's evaluation section.
+
+* :mod:`repro.bench.figures` — one generator per paper figure, returning
+  structured rows the benchmark harness prints and checks.
+* :mod:`repro.bench.report` — text rendering of paper-shaped tables.
+"""
+
+from repro.bench.figures import (
+    fig4_point_queries,
+    fig5_range_queries,
+    fig6_nn_queries,
+    fig8_client_speed,
+    fig9_distance,
+    fig10_insufficient_memory,
+)
+from repro.bench.report import render_sweep, render_fig10
+
+__all__ = [
+    "fig4_point_queries",
+    "fig5_range_queries",
+    "fig6_nn_queries",
+    "fig8_client_speed",
+    "fig9_distance",
+    "fig10_insufficient_memory",
+    "render_sweep",
+    "render_fig10",
+]

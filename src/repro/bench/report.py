@@ -1,0 +1,148 @@
+"""Text rendering of the figure data as paper-shaped tables.
+
+The paper's figures are stacked bar charts (energy) and (cycles) per scheme
+per bandwidth; these renderers print the same series as aligned text tables
+— one row per scheme, one column per bandwidth, with the per-bucket
+breakdown — so the benchmark output can be read directly against the paper
+and archived in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.bench.figures import Fig10Row
+from repro.core.experiment import SweepCell
+
+__all__ = ["render_sweep", "render_fig10", "render_rows", "ascii_chart"]
+
+
+def ascii_chart(
+    series: Dict[str, List[tuple]],
+    width: int = 68,
+    height: int = 14,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Plot ``{name: [(x, y), ...]}`` as an ASCII scatter/line chart.
+
+    No plotting backend is available offline, and the paper's figures are
+    easiest to compare as curves: this renders each series with its own
+    glyph on a shared linear grid, with axis ranges in the footer.  Used by
+    the figure benches so the archived reports show the crossovers at a
+    glance.
+    """
+    if not series or all(not pts for pts in series.values()):
+        return f"{title}\n(empty chart)"
+    glyphs = "ox+*#@%&"
+    all_pts = [p for pts in series.values() for p in pts]
+    xs = [p[0] for p in all_pts]
+    ys = [p[1] for p in all_pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for (name, pts), glyph in zip(series.items(), glyphs):
+        for x, y in pts:
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+            grid[row][col] = glyph
+    lines = []
+    if title:
+        lines.append(title)
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(
+        f" x: {x_lo:g}..{x_hi:g}   y: {y_lo:.3g}..{y_hi:.3g}"
+        + (f" ({y_label})" if y_label else "")
+    )
+    legend = "   ".join(
+        f"{glyph}={name}" for (name, _), glyph in zip(series.items(), glyphs)
+    )
+    lines.append(" " + legend)
+    return "\n".join(lines)
+
+
+def _fmt_energy(cell: SweepCell) -> str:
+    e = cell.result.energy
+    return (
+        f"{e.total():8.3f} (p{e.processor:7.3f} t{e.nic_tx:7.3f} "
+        f"r{e.nic_rx:7.3f} i{e.nic_idle:6.3f})"
+    )
+
+
+def _fmt_cycles(cell: SweepCell) -> str:
+    c = cell.result.cycles
+    return (
+        f"{c.total():9.3e} (p{c.processor:8.2e} t{c.nic_tx:8.2e} "
+        f"r{c.nic_rx:8.2e} w{c.wait:7.1e})"
+    )
+
+
+def render_sweep(
+    sweep: Dict[str, List[SweepCell]],
+    title: str,
+    metric: str = "both",
+) -> str:
+    """Render a schemes x bandwidths sweep as a text table.
+
+    ``metric`` is ``"energy"``, ``"cycles"`` or ``"both"``.  Buckets are
+    abbreviated p(rocessor) / t(x) / r(x) / i(dle) / w(ait).
+    """
+    if metric not in ("energy", "cycles", "both"):
+        raise ValueError(f"unknown metric {metric!r}")
+    lines = [f"== {title} =="]
+    first = next(iter(sweep.values()))
+    header_meta = first[0].result
+    lines.append(
+        f"   workload: {header_meta.n_candidates} filter candidates, "
+        f"{header_meta.n_results} results in total"
+    )
+    for label, cells in sweep.items():
+        lines.append(f"-- {label}")
+        for cell in cells:
+            parts = [f"   {cell.bandwidth_mbps:5.1f} Mbps"]
+            if metric in ("energy", "both"):
+                parts.append(f"E[J] {_fmt_energy(cell)}")
+            if metric in ("cycles", "both"):
+                parts.append(f"cyc {_fmt_cycles(cell)}")
+            lines.append("  ".join(parts))
+    return "\n".join(lines)
+
+
+def render_fig10(rows: Iterable[Fig10Row], title: str) -> str:
+    """Render the Figure 10 proximity curves, marking energy crossovers."""
+    lines = [f"== {title} =="]
+    rows = list(rows)
+    for budget in sorted({r.buffer_bytes for r in rows}):
+        lines.append(f"-- buffer {budget // (1 << 20)} MB")
+        crossed = False
+        for r in (r for r in rows if r.buffer_bytes == budget):
+            marker = ""
+            if not crossed and r.client_energy_j < r.server_energy_j:
+                marker = "  <- client becomes energy-efficient"
+                crossed = True
+            lines.append(
+                f"   y={r.y:4d}  client E={r.client_energy_j:7.4f} J "
+                f"cyc={r.client_cycles:10.3e} | server "
+                f"E={r.server_energy_j:7.4f} J cyc={r.server_cycles:10.3e} "
+                f"| hits={r.local_hits} misses={r.misses}{marker}"
+            )
+    return "\n".join(lines)
+
+
+def render_rows(rows: Iterable[dict], title: str) -> str:
+    """Render a list of homogeneous dict rows as an aligned table."""
+    rows = list(rows)
+    if not rows:
+        return f"== {title} ==\n(empty)"
+    cols = list(rows[0].keys())
+    widths = {
+        c: max(len(str(c)), *(len(str(r[c])) for r in rows)) for c in cols
+    }
+    lines = [f"== {title} =="]
+    lines.append("  ".join(str(c).ljust(widths[c]) for c in cols))
+    for r in rows:
+        lines.append("  ".join(str(r[c]).ljust(widths[c]) for c in cols))
+    return "\n".join(lines)

@@ -1,0 +1,212 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Dataset and index statistics for the synthetic PA/NYC atlases.
+``query``
+    Run one query under every applicable scheme and print the energy and
+    latency of each (a one-shot version of the road-atlas example).
+``figure``
+    Regenerate a paper figure's table (fig4..fig10) at a chosen dataset
+    scale and print it.
+``taxonomy``
+    Print the Table 1 work-partitioning taxonomy.
+
+Every command accepts ``--scale`` to trade fidelity for speed; the figure
+benches under ``benchmarks/`` remain the authoritative full-scale
+reproduction.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.constants import MBPS
+from repro.core.executor import Environment, Policy, execute
+from repro.core.queries import NNQuery, PointQuery, RangeQuery
+from repro.core.schemes import ADEQUATE_MEMORY_CONFIGS, Scheme, SchemeConfig
+from repro.data import tiger
+from repro.spatial.mbr import MBR
+from repro.spatial.stats import tree_stats
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_env(dataset: str, scale: float) -> Environment:
+    name = dataset.upper()
+    if name == "PA":
+        ds = tiger.pa_dataset(scale=scale)
+    elif name == "NYC":
+        ds = tiger.nyc_dataset(scale=scale)
+    else:
+        raise SystemExit(f"unknown dataset {dataset!r} (use PA or NYC)")
+    return Environment.create(ds)
+
+
+def _policy(args: argparse.Namespace) -> Policy:
+    return (
+        Policy()
+        .with_bandwidth(args.bandwidth * MBPS)
+        .with_distance(args.distance)
+    )
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+def cmd_info(args: argparse.Namespace) -> int:
+    env = _load_env(args.dataset, args.scale)
+    ds = env.dataset
+    print(f"dataset : {ds.name} x{args.scale:g} -> {ds.size} segments")
+    print(f"extent  : {ds.extent.width / 1000:.1f} x {ds.extent.height / 1000:.1f} km")
+    print(f"data    : {ds.data_bytes() / 1e6:.2f} MB ({ds.costs.segment_record_bytes} B/record)")
+    print(f"index   : {tree_stats(env.tree)}")
+    return 0
+
+
+def cmd_taxonomy(args: argparse.Namespace) -> int:
+    from repro.bench.report import render_rows
+    from repro.core.schemes import table1_rows
+
+    print(render_rows(table1_rows(), "Table 1: Work Partitioning and Data Placement Choices"))
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    env = _load_env(args.dataset, args.scale)
+    ds = env.dataset
+    if args.kind == "point":
+        i = args.anchor if args.anchor is not None else ds.size // 2
+        q = PointQuery(float(ds.x1[i]), float(ds.y1[i]))
+        configs = [
+            SchemeConfig(Scheme.FULLY_CLIENT),
+            SchemeConfig(Scheme.FULLY_SERVER, data_at_client=True),
+            SchemeConfig(Scheme.FILTER_CLIENT_REFINE_SERVER, data_at_client=True),
+            SchemeConfig(Scheme.FILTER_SERVER_REFINE_CLIENT, data_at_client=True),
+        ]
+    elif args.kind == "range":
+        i = args.anchor if args.anchor is not None else ds.size // 2
+        cx = float(ds.x1[i] + ds.x2[i]) / 2
+        cy = float(ds.y1[i] + ds.y2[i]) / 2
+        half = args.window_km * 500.0  # km -> m, half-width
+        q = RangeQuery(MBR(cx - half, cy - half, cx + half, cy + half))
+        configs = list(ADEQUATE_MEMORY_CONFIGS)
+    else:
+        i = args.anchor if args.anchor is not None else ds.size // 2
+        q = NNQuery(float(ds.x1[i]), float(ds.y1[i]))
+        configs = [
+            SchemeConfig(Scheme.FULLY_CLIENT),
+            SchemeConfig(Scheme.FULLY_SERVER, data_at_client=True),
+        ]
+    policy = _policy(args)
+    print(
+        f"{args.kind} query on {ds.name} x{args.scale:g} at "
+        f"{args.bandwidth:g} Mbps, {args.distance:g} m"
+    )
+    for cfg in configs:
+        env.reset_caches()
+        r = execute(q, cfg, env, policy)
+        print(
+            f"  {cfg.label:62s} {r.energy.total() * 1e3:10.4f} mJ"
+            f"  {r.wall_seconds * 1e3:9.2f} ms  ({r.n_results} results)"
+        )
+    return 0
+
+
+_FIGURES = {
+    "fig4": ("point queries", "fig4_point_queries"),
+    "fig5": ("range queries (PA)", "fig5_range_queries"),
+    "fig6": ("nearest-neighbor queries", "fig6_nn_queries"),
+    "fig7": ("range queries (NYC)", "fig5_range_queries"),
+    "fig9": ("range queries at 100 m", "fig9_distance"),
+    "fig10": ("insufficient memory", "fig10_insufficient_memory"),
+}
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    from repro.bench import figures as figs
+    from repro.bench.report import render_fig10, render_sweep
+
+    which = args.name
+    if which == "fig8":
+        from repro.bench.figures import fig8_client_speed
+
+        ds = (
+            tiger.pa_dataset(scale=args.scale)
+            if args.dataset.upper() == "PA"
+            else tiger.nyc_dataset(scale=args.scale)
+        )
+        sweep = fig8_client_speed(ds, n_runs=args.runs)
+        print(render_sweep(sweep, "Figure 8: Range Queries, C/S=1/2"))
+        return 0
+    if which not in _FIGURES:
+        raise SystemExit(
+            f"unknown figure {which!r}; choose from "
+            f"{', '.join(sorted(set(_FIGURES) | {'fig8'}))}"
+        )
+    dataset = "NYC" if which == "fig7" else args.dataset
+    env = _load_env(dataset, args.scale)
+    title, fn_name = _FIGURES[which]
+    fn = getattr(figs, fn_name)
+    if which == "fig10":
+        rows = fn(env)
+        print(render_fig10(rows, f"Figure 10: {title}"))
+    else:
+        sweep = fn(env, n_runs=args.runs)
+        print(render_sweep(sweep, f"{which}: {title} (x{args.scale:g} scale)"))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Work partitioning for mobile spatial queries (IPPS 2003 reproduction)",
+    )
+    parser.add_argument("--dataset", default="PA", help="PA or NYC")
+    parser.add_argument(
+        "--scale", type=float, default=0.1,
+        help="dataset scale, 1.0 = published cardinality",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="dataset and index statistics")
+    sub.add_parser("taxonomy", help="print the Table 1 taxonomy")
+
+    q = sub.add_parser("query", help="run one query under every scheme")
+    q.add_argument("kind", choices=("point", "range", "nn"))
+    q.add_argument("--bandwidth", type=float, default=2.0, help="Mbps")
+    q.add_argument("--distance", type=float, default=1000.0, help="meters")
+    q.add_argument("--window-km", type=float, default=3.0,
+                   help="range window side (km)")
+    q.add_argument("--anchor", type=int, default=None,
+                   help="segment id to anchor the query on")
+
+    f = sub.add_parser("figure", help="regenerate a paper figure's table")
+    f.add_argument("name", help="fig4..fig10")
+    f.add_argument("--runs", type=int, default=100, help="queries per workload")
+    return parser
+
+
+_COMMANDS = {
+    "info": cmd_info,
+    "taxonomy": cmd_taxonomy,
+    "query": cmd_query,
+    "figure": cmd_figure,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""The paper's contribution: work partitioning for mobile spatial queries.
+
+Public surface:
+
+* :mod:`repro.core.queries` — point / range / NN query types.
+* :mod:`repro.core.engine` — instrumented filter/refine engine.
+* :mod:`repro.core.schemes` — the Table 1 partitioning taxonomy.
+* :mod:`repro.core.executor` — plan/price execution of a query under a
+  scheme (energy + cycle breakdowns).
+* :mod:`repro.core.clientcache` — insufficient-memory cached client.
+* :mod:`repro.core.analytic` — the section-4.1 closed-form model.
+* :mod:`repro.core.experiment` — workload sweep harness.
+"""
+
+from repro.core.engine import QueryEngine
+from repro.core.executor import Environment, Policy, RunResult, execute
+from repro.core.queries import (
+    KNNQuery,
+    NNQuery,
+    PointQuery,
+    Query,
+    QueryKind,
+    RangeQuery,
+)
+from repro.core.schemes import ADEQUATE_MEMORY_CONFIGS, Scheme, SchemeConfig
+
+__all__ = [
+    "QueryEngine",
+    "Environment",
+    "Policy",
+    "RunResult",
+    "execute",
+    "KNNQuery",
+    "NNQuery",
+    "PointQuery",
+    "Query",
+    "QueryKind",
+    "RangeQuery",
+    "ADEQUATE_MEMORY_CONFIGS",
+    "Scheme",
+    "SchemeConfig",
+]

@@ -1,0 +1,173 @@
+"""Scheme advisor: pick a work-partitioning scheme from measured profiles.
+
+The paper closes hoping its findings "provide a more systematic way of
+designing and implementing applications for this environment in a
+performance and energy efficient manner".  This module is that system: a
+small planner that
+
+1. **profiles** a query workload once (candidate/result volumes, per-phase
+   client and server cycles — exactly the inputs of the paper's section-4.1
+   model), then
+2. **advises**, for any operating point (bandwidth, distance, clock) and
+   objective (energy / latency / a weighted blend), which Table 1 scheme to
+   use — *without* re-running the workload, by pricing each scheme's plans
+   at the requested point.
+
+Because the advisor prices real plans rather than the closed-form model, its
+verdicts coincide with the figure benches by construction; the analytic
+model remains available for back-of-envelope explanations
+(:mod:`repro.core.analytic`).  Tests check the advisor returns the measured
+winner across the evaluation grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.executor import Environment, Policy, QueryPlan, price_plan
+from repro.core.experiment import plan_workload
+from repro.core.queries import Query, QueryKind
+from repro.core.schemes import ADEQUATE_MEMORY_CONFIGS, Scheme, SchemeConfig
+
+__all__ = ["Objective", "WorkloadProfile", "SchemeAdvisor"]
+
+
+@dataclass(frozen=True)
+class Objective:
+    """What the device is optimizing.
+
+    ``energy_weight`` in [0, 1]: 1.0 = pure battery, 0.0 = pure latency.
+    Blended scores normalize each metric by the best scheme's value, so the
+    weight trades relative regrets rather than joules against seconds.
+    """
+
+    energy_weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.energy_weight <= 1.0):
+            raise ValueError(
+                f"energy_weight must be in [0, 1], got {self.energy_weight}"
+            )
+
+    @classmethod
+    def battery(cls) -> "Objective":
+        """Minimize client energy."""
+        return cls(1.0)
+
+    @classmethod
+    def latency(cls) -> "Objective":
+        """Minimize end-to-end time."""
+        return cls(0.0)
+
+
+@dataclass
+class WorkloadProfile:
+    """Plans for one workload under every applicable scheme."""
+
+    kind: QueryKind
+    plans: Dict[str, Tuple[SchemeConfig, List[QueryPlan]]]
+
+    @property
+    def schemes(self) -> List[SchemeConfig]:
+        """The candidate configurations."""
+        return [cfg for cfg, _ in self.plans.values()]
+
+
+class SchemeAdvisor:
+    """Profile once, advise for any operating point."""
+
+    def __init__(
+        self,
+        env: Environment,
+        configs: Sequence[SchemeConfig] = ADEQUATE_MEMORY_CONFIGS,
+    ) -> None:
+        self.env = env
+        self.configs = list(configs)
+
+    # ------------------------------------------------------------------
+    def profile(self, queries: Sequence[Query]) -> WorkloadProfile:
+        """Run the workload's computation under every applicable scheme.
+
+        NN/k-NN workloads automatically restrict to the two "fully at"
+        schemes (they have no phase boundary to partition at).
+        """
+        if not queries:
+            raise ValueError("profile() requires at least one query")
+        kinds = {q.kind for q in queries}
+        if len(kinds) != 1:
+            raise ValueError(
+                "profile one query kind at a time (the paper's figures do "
+                f"too); got {sorted(k.value for k in kinds)}"
+            )
+        kind = next(iter(kinds))
+        plans: Dict[str, Tuple[SchemeConfig, List[QueryPlan]]] = {}
+        for cfg in self.configs:
+            if kind is QueryKind.NEAREST_NEIGHBOR and cfg.scheme in (
+                Scheme.FILTER_CLIENT_REFINE_SERVER,
+                Scheme.FILTER_SERVER_REFINE_CLIENT,
+            ):
+                continue
+            plans[cfg.label] = (cfg, plan_workload(queries, cfg, self.env))
+        return WorkloadProfile(kind=kind, plans=plans)
+
+    # ------------------------------------------------------------------
+    def score(
+        self, profile: WorkloadProfile, policy: Policy
+    ) -> Dict[str, Tuple[float, float]]:
+        """``{scheme label: (energy_J, wall_seconds)}`` at ``policy``."""
+        out: Dict[str, Tuple[float, float]] = {}
+        for label, (cfg, plans) in profile.plans.items():
+            e = t = 0.0
+            for p in plans:
+                r = price_plan(p, self.env, policy)
+                e += r.energy.total()
+                t += r.wall_seconds
+            out[label] = (e, t)
+        return out
+
+    def advise(
+        self,
+        profile: WorkloadProfile,
+        policy: Policy,
+        objective: Objective = Objective.battery(),
+    ) -> SchemeConfig:
+        """The best configuration at ``policy`` for ``objective``."""
+        scores = self.score(profile, policy)
+        best_e = min(e for e, _ in scores.values())
+        best_t = min(t for _, t in scores.values())
+        w = objective.energy_weight
+
+        def blended(label: str) -> float:
+            e, t = scores[label]
+            return w * (e / best_e) + (1 - w) * (t / best_t)
+
+        best_label = min(scores, key=blended)
+        return profile.plans[best_label][0]
+
+    def advise_table(
+        self,
+        profile: WorkloadProfile,
+        bandwidths_bps: Sequence[float],
+        distances_m: Sequence[float],
+        objective: Objective = Objective.battery(),
+        base_policy: Optional[Policy] = None,
+    ) -> List[dict]:
+        """The policy table over a (bandwidth, distance) grid."""
+        base = base_policy if base_policy is not None else Policy()
+        rows: List[dict] = []
+        for d in distances_m:
+            for b in bandwidths_bps:
+                policy = base.with_bandwidth(b).with_distance(d)
+                pick = self.advise(profile, policy, objective)
+                e, t = self.score(profile, policy)[pick.label]
+                rows.append(
+                    {
+                        "distance_m": d,
+                        "bandwidth_bps": b,
+                        "pick": pick.label,
+                        "energy_J": e,
+                        "seconds": t,
+                    }
+                )
+        return rows

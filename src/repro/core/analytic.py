@@ -1,0 +1,158 @@
+"""The closed-form trade-off model of paper section 4.1.
+
+The paper derives, before any simulation, the conditions under which work
+partitioning pays off.  With the parameters
+
+* ``B`` — effective wireless bandwidth (bits/s),
+* ``C_fully_local`` — client cycles to do the whole computation locally,
+* ``C_local`` — client cycles of the locally retained portion (``w1 + w3``),
+* ``C_protocol`` — client cycles of protocol processing,
+* ``C_w2`` — server cycles of the offloaded portion,
+* ``Packet_Tx`` / ``Packet_Rx`` — transmitted/received message sizes (bits),
+* ``MhzC`` / ``MhzS`` — client/server clock rates,
+* the client and NIC power figures,
+
+the transfer and wait cycles are::
+
+    C_Tx   = (Packet_Tx / B) * MhzC
+    C_Rx   = (Packet_Rx / B) * MhzC
+    C_wait = (C_w2 / MhzS) * MhzC
+
+and partitioning is a **performance** win iff::
+
+    C_fully_local > C_Tx + C_wait + C_Rx + C_local + C_protocol
+
+and an **energy** win iff::
+
+    (P_client + P_sleep) * C_fully_local / MhzC  >
+        P_Tx * Packet_Tx / B + P_Rx * Packet_Rx / B
+        + (P_idle + P_client_blocked) * (C_w2 / MhzS)
+        + (P_client + P_sleep) * (C_local + C_protocol) / MhzC
+
+(we state the energy inequality in joules rather than the paper's
+cycle-scaled form, and use the *blocked* client power during the wait — the
+paper's results likewise block the CPU during communication).
+
+These formulas are deliberately simpler than the executor — they ignore
+sleep-exit latencies, per-frame header overhead and cache effects — but they
+predict the same first-order crossovers, and a test checks their verdicts
+against the executor on representative scenarios.  They are also the
+fastest way to *explain* a result: :func:`explain` returns every term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constants import (
+    DEFAULT_CLIENT,
+    DEFAULT_NIC_POWER,
+    ClientConfig,
+    NICPowerTable,
+)
+from repro.sim.radio import RadioModel
+
+__all__ = ["PartitionParams", "Verdict", "evaluate", "explain"]
+
+
+@dataclass(frozen=True)
+class PartitionParams:
+    """Inputs of the section-4.1 model (one partitioning choice)."""
+
+    bandwidth_bps: float
+    c_fully_local: float
+    c_local: float
+    c_protocol: float
+    c_w2: float
+    packet_tx_bits: float
+    packet_rx_bits: float
+    client: ClientConfig = DEFAULT_CLIENT
+    server_clock_hz: float = 1_000_000_000.0
+    nic: NICPowerTable = DEFAULT_NIC_POWER
+    distance_m: float = 1000.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if min(
+            self.c_fully_local, self.c_local, self.c_protocol, self.c_w2,
+            self.packet_tx_bits, self.packet_rx_bits,
+        ) < 0:
+            raise ValueError("cycle and packet parameters must be non-negative")
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """The model's outputs for one partitioning choice."""
+
+    #: Client cycles end-to-end when partitioned.
+    partitioned_cycles: float
+    #: Client cycles fully local.
+    local_cycles: float
+    #: Client+NIC energy when partitioned (J).
+    partitioned_energy_j: float
+    #: Client+NIC energy fully local (J).
+    local_energy_j: float
+
+    @property
+    def wins_performance(self) -> bool:
+        """Partitioning beats fully-local on cycles."""
+        return self.partitioned_cycles < self.local_cycles
+
+    @property
+    def wins_energy(self) -> bool:
+        """Partitioning beats fully-local on energy."""
+        return self.partitioned_energy_j < self.local_energy_j
+
+
+def evaluate(p: PartitionParams) -> Verdict:
+    """Apply the section-4.1 inequalities to ``p``."""
+    mhz_c = p.client.clock_hz
+    c_tx = (p.packet_tx_bits / p.bandwidth_bps) * mhz_c
+    c_rx = (p.packet_rx_bits / p.bandwidth_bps) * mhz_c
+    c_wait = (p.c_w2 / p.server_clock_hz) * mhz_c
+    partitioned_cycles = c_tx + c_wait + c_rx + p.c_local + p.c_protocol
+    local_cycles = p.c_fully_local
+
+    p_client = p.client.power_at()
+    p_blocked = p_client * p.client.lowpower_fraction
+    radio = RadioModel(power_table=p.nic)
+    p_tx = radio.transmit_power_w(p.distance_m)
+
+    t_tx = p.packet_tx_bits / p.bandwidth_bps
+    t_rx = p.packet_rx_bits / p.bandwidth_bps
+    t_wait = p.c_w2 / p.server_clock_hz
+    t_local = (p.c_local + p.c_protocol) / mhz_c
+
+    partitioned_energy = (
+        (p_tx + p_blocked) * t_tx
+        + (p.nic.receive_w + p_blocked) * t_rx
+        + (p.nic.idle_w + p_blocked) * t_wait
+        + (p_client + p.nic.sleep_w) * t_local
+    )
+    local_energy = (p_client + p.nic.sleep_w) * (p.c_fully_local / mhz_c)
+    return Verdict(
+        partitioned_cycles=partitioned_cycles,
+        local_cycles=local_cycles,
+        partitioned_energy_j=partitioned_energy,
+        local_energy_j=local_energy,
+    )
+
+
+def explain(p: PartitionParams) -> dict:
+    """Every intermediate term of the model, for reports and debugging."""
+    mhz_c = p.client.clock_hz
+    v = evaluate(p)
+    return {
+        "C_Tx": (p.packet_tx_bits / p.bandwidth_bps) * mhz_c,
+        "C_Rx": (p.packet_rx_bits / p.bandwidth_bps) * mhz_c,
+        "C_wait": (p.c_w2 / p.server_clock_hz) * mhz_c,
+        "C_local": p.c_local,
+        "C_protocol": p.c_protocol,
+        "C_fully_local": p.c_fully_local,
+        "partitioned_cycles": v.partitioned_cycles,
+        "partitioned_energy_j": v.partitioned_energy_j,
+        "local_energy_j": v.local_energy_j,
+        "wins_performance": v.wins_performance,
+        "wins_energy": v.wins_energy,
+    }

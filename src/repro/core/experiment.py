@@ -1,0 +1,127 @@
+"""Workload sweep harness: plan once, price across parameter grids.
+
+The figures sweep bandwidth (all), client clock ratio (Fig. 8), transmit
+distance (Fig. 9), buffer size and proximity (Fig. 10) over 100-query
+workloads and several schemes.  Query plans are independent of bandwidth,
+distance and power policy (:mod:`repro.core.executor`), so this harness:
+
+1. plans each workload x scheme combination once (caches cold-started at
+   the workload boundary, warm within it — as on the device),
+2. re-prices those plans for every policy point in the sweep,
+3. returns :class:`SweepCell` records carrying the summed breakdowns, which
+   the figure generators and shape tests consume directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+from repro.constants import BANDWIDTHS_MBPS, MBPS
+from repro.core.clientcache import ClientCacheSession
+from repro.core.executor import (
+    Environment,
+    Policy,
+    QueryPlan,
+    RunResult,
+    plan_query,
+    price_plan,
+)
+from repro.core.queries import Query
+from repro.core.schemes import SchemeConfig
+
+__all__ = [
+    "SweepCell",
+    "plan_workload",
+    "price_workload",
+    "bandwidth_sweep",
+    "plan_cached_workload",
+]
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One (scheme, policy) point of a sweep: the summed workload result."""
+
+    config_label: str
+    bandwidth_mbps: float
+    distance_m: float
+    result: RunResult
+
+    @property
+    def energy_j(self) -> float:
+        """Total client energy over the workload."""
+        return self.result.energy.total()
+
+    @property
+    def cycles(self) -> float:
+        """Total end-to-end client cycles over the workload."""
+        return self.result.cycles.total()
+
+
+def plan_workload(
+    queries: Sequence[Query],
+    config: SchemeConfig,
+    env: Environment,
+    reset_caches: bool = True,
+) -> List[QueryPlan]:
+    """Plan every query of a workload under one scheme, in order."""
+    if reset_caches:
+        env.reset_caches()
+    return [plan_query(q, config, env) for q in queries]
+
+
+def price_workload(
+    plans: Iterable[QueryPlan], env: Environment, policy: Policy
+) -> RunResult:
+    """Price a planned workload under one policy; returns the summed result."""
+    results = [price_plan(p, env, policy) for p in plans]
+    return RunResult.combine(results)
+
+
+def bandwidth_sweep(
+    queries: Sequence[Query],
+    configs: Sequence[SchemeConfig],
+    env: Environment,
+    base_policy: Policy = Policy(),
+    bandwidths_mbps: Sequence[float] = BANDWIDTHS_MBPS,
+) -> Dict[str, List[SweepCell]]:
+    """The evaluation section's standard grid: schemes x bandwidths.
+
+    Returns ``{scheme label: [SweepCell per bandwidth]}``; plans are built
+    once per scheme and re-priced per bandwidth.
+    """
+    out: Dict[str, List[SweepCell]] = {}
+    for config in configs:
+        plans = plan_workload(queries, config, env)
+        cells: List[SweepCell] = []
+        for bw in bandwidths_mbps:
+            policy = base_policy.with_bandwidth(bw * MBPS)
+            result = price_workload(plans, env, policy)
+            cells.append(
+                SweepCell(
+                    config_label=config.label,
+                    bandwidth_mbps=bw,
+                    distance_m=policy.network.distance_m,
+                    result=result,
+                )
+            )
+        out[config.label] = cells
+    return out
+
+
+def plan_cached_workload(
+    queries: Sequence[Query],
+    env: Environment,
+    budget_bytes: int,
+    reset_caches: bool = True,
+) -> tuple[List[QueryPlan], ClientCacheSession]:
+    """Plan a workload under the insufficient-memory cached-client scheme.
+
+    Returns the plans plus the session (whose hit/miss statistics the
+    Figure 10 bench reports).
+    """
+    if reset_caches:
+        env.reset_caches()
+    session = ClientCacheSession(env, budget_bytes)
+    return session.plan_sequence(list(queries)), session

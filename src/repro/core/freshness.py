@@ -1,0 +1,283 @@
+"""Data freshness under server-side updates — the paper's "examining issues
+when data is frequently modified (and the latest copy needs to be obtained
+from the server)" future work.
+
+The paper's experiments hold the dataset static (caches are downloaded once,
+"perhaps even before the user goes on the road").  Here the server mutates
+segments over simulated time — a Poisson stream of updates at a configurable
+rate — and the client's cached region can go **stale**.  Three consistency
+policies bracket the design space:
+
+* :attr:`FreshnessPolicy.NONE` — serve local hits blindly; cheapest, but a
+  fraction of answers is stale (measured, not hidden).
+* :attr:`FreshnessPolicy.TTL` — a cached region older than ``ttl_s`` is
+  dropped and re-fetched on the next query; bounds staleness by the TTL at
+  the cost of periodic re-shipments.
+* :attr:`FreshnessPolicy.VERIFY` — every local hit first round-trips a tiny
+  version-check to the server (request + 1-byte verdict); zero staleness,
+  but each "free" local query now costs a transmit — eroding exactly the
+  energy advantage the section-6.2 caching bought.
+
+Staleness is tracked at the packed-entry level: an update at simulated time
+``t`` touches one master entry position; a cached region fetched at ``t0``
+is stale at ``t`` iff some update in ``(t0, t]`` falls inside its shipped
+entry range.  Geometry is left untouched (the answers' *content* is not the
+point — their version is), so every other invariant of the system keeps
+holding.
+
+The session composes :class:`~repro.core.clientcache.ClientCacheSession`
+with a simulated clock: each query advances time by its *priced* wall
+duration plus a think-time gap, so higher-rate update streams genuinely
+interleave with longer sessions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.clientcache import INSUFFICIENT_CLIENT_CONFIG, ClientCacheSession
+from repro.core.executor import (
+    Environment,
+    Policy,
+    QueryPlan,
+    RecvStep,
+    SendStep,
+    ServerComputeStep,
+    price_plan,
+)
+from repro.core.messages import Payload
+from repro.core.queries import Query
+from repro.sim.metrics import CycleBreakdown, EnergyBreakdown
+
+__all__ = [
+    "UpdateStream",
+    "FreshnessPolicy",
+    "SessionStats",
+    "FreshClientSession",
+]
+
+#: Version-check request payload (query region digest + cached version).
+_VERIFY_REQUEST_BYTES = 32
+#: Version-check verdict payload.
+_VERIFY_REPLY_BYTES = 1
+#: Server cycles to check a region's version (a hash-table lookup).
+_VERIFY_SERVER_CYCLES = 2_000.0
+
+
+class UpdateStream:
+    """A deterministic Poisson stream of server-side updates.
+
+    Each event updates one master packed-entry position, drawn uniformly
+    (every street is equally likely to change — closures, renames, edits).
+    Event times and positions are materialized lazily in chunks so long
+    simulations stay O(events seen).
+    """
+
+    def __init__(
+        self, n_entries: int, rate_per_s: float, seed: int = 53
+    ) -> None:
+        if n_entries < 1:
+            raise ValueError(f"n_entries must be >= 1, got {n_entries}")
+        if rate_per_s < 0:
+            raise ValueError(f"rate_per_s must be >= 0, got {rate_per_s}")
+        self.n_entries = n_entries
+        self.rate_per_s = rate_per_s
+        self._rng = np.random.default_rng(seed)
+        self._times: List[float] = []
+        self._positions: List[int] = []
+        self._horizon = 0.0
+
+    def _extend_to(self, t: float) -> None:
+        if self.rate_per_s == 0:
+            self._horizon = max(self._horizon, t)
+            return
+        while self._horizon < t:
+            gap = float(self._rng.exponential(1.0 / self.rate_per_s))
+            self._horizon += gap
+            self._times.append(self._horizon)
+            self._positions.append(int(self._rng.integers(0, self.n_entries)))
+
+    def updates_in(
+        self, t0: float, t1: float, lo: int, hi: int
+    ) -> int:
+        """Number of updates in ``(t0, t1]`` touching positions ``[lo, hi)``."""
+        if t1 < t0:
+            raise ValueError("t1 must be >= t0")
+        self._extend_to(t1)
+        times = np.asarray(self._times)
+        pos = np.asarray(self._positions)
+        if times.size == 0:
+            return 0
+        mask = (times > t0) & (times <= t1) & (pos >= lo) & (pos < hi)
+        return int(mask.sum())
+
+    def positions_in(self, t0: float, t1: float) -> np.ndarray:
+        """Entry positions updated in ``(t0, t1]`` (with repeats collapsed)."""
+        if t1 < t0:
+            raise ValueError("t1 must be >= t0")
+        self._extend_to(t1)
+        times = np.asarray(self._times)
+        pos = np.asarray(self._positions, dtype=np.int64)
+        if times.size == 0:
+            return np.empty(0, dtype=np.int64)
+        mask = (times > t0) & (times <= t1)
+        return np.unique(pos[mask])
+
+
+class FreshnessPolicy(enum.Enum):
+    """Client-side consistency disciplines (see module docstring)."""
+
+    NONE = "none"
+    TTL = "ttl"
+    VERIFY = "verify"
+
+
+@dataclass
+class SessionStats:
+    """Aggregate outcome of a freshness session."""
+
+    energy: EnergyBreakdown = field(default_factory=EnergyBreakdown)
+    cycles: CycleBreakdown = field(default_factory=CycleBreakdown)
+    wall_seconds: float = 0.0
+    fresh_answers: int = 0
+    stale_answers: int = 0
+    refetches: int = 0
+    verifications: int = 0
+
+    @property
+    def queries(self) -> int:
+        """Total queries served."""
+        return self.fresh_answers + self.stale_answers
+
+    @property
+    def staleness(self) -> float:
+        """Fraction of answers served from out-of-date data."""
+        return self.stale_answers / self.queries if self.queries else 0.0
+
+
+class FreshClientSession:
+    """An insufficient-memory client session under an update stream."""
+
+    def __init__(
+        self,
+        env: Environment,
+        budget_bytes: int,
+        updates: UpdateStream,
+        policy: FreshnessPolicy = FreshnessPolicy.NONE,
+        pricing: Policy = Policy(),
+        ttl_s: float = 60.0,
+        think_time_s: float = 2.0,
+    ) -> None:
+        if ttl_s <= 0:
+            raise ValueError(f"ttl_s must be positive, got {ttl_s}")
+        if think_time_s < 0:
+            raise ValueError(f"think_time_s must be >= 0, got {think_time_s}")
+        self.env = env
+        self.cache = ClientCacheSession(env, budget_bytes)
+        self.updates = updates
+        self.policy = policy
+        self.pricing = pricing
+        self.ttl_s = ttl_s
+        self.think_time_s = think_time_s
+        self.now_s = 0.0
+        self.fetched_at_s: Optional[float] = None
+        self.stats = SessionStats()
+
+    # ------------------------------------------------------------------
+    def _region_stale(self) -> bool:
+        """Whether *any* cached entry is out of date (VERIFY's criterion:
+        the server's region version has moved)."""
+        region = self.cache.region
+        if region is None or self.fetched_at_s is None:
+            return False
+        return (
+            self.updates.updates_in(
+                self.fetched_at_s, self.now_s, region.entry_lo, region.entry_hi
+            )
+            > 0
+        )
+
+    def _answer_stale(self, answer_ids: np.ndarray) -> bool:
+        """Whether this particular answer contains an updated segment —
+        the user-visible staleness the statistics report."""
+        if self.fetched_at_s is None or answer_ids.size == 0:
+            return False
+        updated = self.updates.positions_in(self.fetched_at_s, self.now_s)
+        if updated.size == 0:
+            return False
+        answer_pos = self.env.tree.entry_positions_for_ids(
+            np.asarray(answer_ids, dtype=np.int64)
+        )
+        return bool(np.isin(answer_pos, updated).any())
+
+    def _verify_plan(self, query: Query) -> QueryPlan:
+        """The tiny version-check round trip of the VERIFY policy."""
+        steps = [
+            SendStep(Payload(_VERIFY_REQUEST_BYTES, "version check")),
+            ServerComputeStep(_VERIFY_SERVER_CYCLES, "version lookup"),
+            RecvStep(Payload(_VERIFY_REPLY_BYTES, "version verdict")),
+        ]
+        return QueryPlan(
+            query=query,
+            config=INSUFFICIENT_CLIENT_CONFIG,
+            steps=steps,
+            answer_ids=np.empty(0, dtype=np.int64),
+            n_candidates=0,
+            n_results=0,
+        )
+
+    def _account(self, plan: QueryPlan) -> float:
+        r = price_plan(plan, self.env, self.pricing)
+        self.stats.energy = self.stats.energy + r.energy
+        self.stats.cycles = self.stats.cycles + r.cycles
+        self.stats.wall_seconds += r.wall_seconds
+        return r.wall_seconds
+
+    # ------------------------------------------------------------------
+    def run_query(self, query: Query) -> QueryPlan:
+        """Serve one query under the session's consistency policy."""
+        self.now_s += self.think_time_s
+
+        would_hit = self.cache._can_answer_locally(query)
+        if would_hit:
+            if self.policy is FreshnessPolicy.TTL:
+                assert self.fetched_at_s is not None
+                if self.now_s - self.fetched_at_s > self.ttl_s:
+                    self.cache.region = None  # expired: force a re-fetch
+                    self.stats.refetches += 1
+                    would_hit = False
+            elif self.policy is FreshnessPolicy.VERIFY:
+                self.stats.verifications += 1
+                self.now_s += self._account(self._verify_plan(query))
+                if self._region_stale():
+                    self.cache.region = None
+                    self.stats.refetches += 1
+                    would_hit = False
+
+        plan = self.cache.plan(query)
+        elapsed = self._account(plan)
+        if not would_hit:
+            # A (re-)fetch delivers the server's current version.
+            self.fetched_at_s = self.now_s + elapsed
+        self.now_s += elapsed
+
+        served_from_cache = would_hit
+        if (
+            served_from_cache
+            and self.policy is not FreshnessPolicy.VERIFY
+            and self._answer_stale(plan.answer_ids)
+        ):
+            self.stats.stale_answers += 1
+        else:
+            self.stats.fresh_answers += 1
+        return plan
+
+    def run(self, queries: Sequence[Query]) -> SessionStats:
+        """Serve a whole workload; returns the aggregate statistics."""
+        for q in queries:
+            self.run_query(q)
+        return self.stats

@@ -1,0 +1,98 @@
+"""Message payload construction for client/server communication.
+
+Every work-partitioning scheme exchanges a characteristic set of messages;
+their *sizes* drive both transfer time and NIC energy, so they are modeled
+explicitly from the byte-size model in :class:`repro.constants.CostModel`:
+
+* a **request** carries the query parameters (and, under insufficient
+  memory, the client's memory availability);
+* a **candidate-id list** ships filtering output to the server (the message
+  the paper singles out as making filter-at-client expensive on energy);
+* a **result-id list** suffices when the actual data resides at the client
+  ("the server can simply send a list of object ids after refinement instead
+  of the data items themselves, thus saving several bytes");
+* a **data-item list** ships full segment records when the client lacks them;
+* an **extraction shipment** carries data records plus a fresh packed index
+  (insufficient-memory scenario).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constants import DEFAULT_COSTS, CostModel
+from repro.spatial.extract import Extraction
+
+__all__ = [
+    "Payload",
+    "request_payload",
+    "request_with_candidates_payload",
+    "id_list_payload",
+    "data_items_payload",
+    "extraction_payload",
+]
+
+#: Bytes carrying the client's memory availability in an insufficient-memory
+#: request (a 4-byte integer).
+_MEMORY_AVAILABILITY_BYTES = 4
+#: Bytes of framing in an extraction shipment (counts, extent, tree shape).
+_EXTRACTION_HEADER_BYTES = 32
+
+
+@dataclass(frozen=True)
+class Payload:
+    """An application-level message payload."""
+
+    nbytes: int
+    description: str
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError(f"negative payload size {self.nbytes!r}")
+
+
+def request_payload(costs: CostModel = DEFAULT_COSTS, with_memory_availability: bool = False) -> Payload:
+    """The query request message (client -> server)."""
+    n = costs.request_bytes
+    if with_memory_availability:
+        n += _MEMORY_AVAILABILITY_BYTES
+    return Payload(n, "query request")
+
+
+def request_with_candidates_payload(
+    n_candidates: int, costs: CostModel = DEFAULT_COSTS
+) -> Payload:
+    """Request plus the candidate ids from client-side filtering.
+
+    This is the large transmit of "filtering at client, refinement at
+    server": the candidate list rides to the server so it can refine.
+    """
+    if n_candidates < 0:
+        raise ValueError(f"negative candidate count {n_candidates!r}")
+    return Payload(
+        costs.request_bytes + n_candidates * costs.object_id_bytes,
+        f"request + {n_candidates} candidate ids",
+    )
+
+
+def id_list_payload(n_ids: int, costs: CostModel = DEFAULT_COSTS) -> Payload:
+    """A bare list of object ids (server -> client when data is local)."""
+    if n_ids < 0:
+        raise ValueError(f"negative id count {n_ids!r}")
+    return Payload(n_ids * costs.object_id_bytes, f"{n_ids} object ids")
+
+
+def data_items_payload(n_items: int, costs: CostModel = DEFAULT_COSTS) -> Payload:
+    """Full segment records (server -> client when data is absent there)."""
+    if n_items < 0:
+        raise ValueError(f"negative item count {n_items!r}")
+    return Payload(n_items * costs.segment_record_bytes, f"{n_items} data items")
+
+
+def extraction_payload(extraction: Extraction) -> Payload:
+    """An insufficient-memory shipment: data records + fresh packed index."""
+    return Payload(
+        extraction.total_bytes + _EXTRACTION_HEADER_BYTES,
+        f"extraction of {extraction.n_entries} items "
+        f"({extraction.index_bytes} B index)",
+    )

@@ -1,0 +1,107 @@
+"""The three spatial query types of the paper.
+
+Road-atlas operations on line-segment data (section 3):
+
+* :class:`PointQuery` — all segments intersecting a given point ("which
+  streets meet at this intersection?").
+* :class:`RangeQuery` — all segments intersecting a rectangular window
+  ("magnify this portion of the atlas").
+* :class:`NNQuery` — the nearest segment to a point ("closest street to this
+  landmark").  NN has *no separate filtering and refinement steps* in the
+  paper's implementation (branch-and-bound search), so the phase-boundary
+  work-partitioning schemes do not apply to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Union
+
+from repro.spatial.geometry import DEFAULT_EPS
+from repro.spatial.mbr import MBR
+
+__all__ = ["QueryKind", "PointQuery", "RangeQuery", "NNQuery", "KNNQuery", "Query"]
+
+
+class QueryKind(Enum):
+    """Discriminator for the three query types."""
+
+    POINT = "point"
+    RANGE = "range"
+    NEAREST_NEIGHBOR = "nn"
+
+    @property
+    def has_phases(self) -> bool:
+        """True when the query has separate filtering/refinement phases."""
+        return self is not QueryKind.NEAREST_NEIGHBOR
+
+
+@dataclass(frozen=True)
+class PointQuery:
+    """All segments passing within ``eps`` of ``(x, y)``."""
+
+    x: float
+    y: float
+    eps: float = DEFAULT_EPS
+
+    kind = QueryKind.POINT
+
+    def focus(self) -> tuple[float, float]:
+        """The query's anchor point (extraction centers shipments on it)."""
+        return (self.x, self.y)
+
+
+@dataclass(frozen=True)
+class RangeQuery:
+    """All segments intersecting the window ``rect``."""
+
+    rect: MBR
+
+    kind = QueryKind.RANGE
+
+    def focus(self) -> tuple[float, float]:
+        """The window center."""
+        return self.rect.center()
+
+
+@dataclass(frozen=True)
+class NNQuery:
+    """The segment nearest to ``(x, y)``."""
+
+    x: float
+    y: float
+
+    kind = QueryKind.NEAREST_NEIGHBOR
+
+    def focus(self) -> tuple[float, float]:
+        """The query point itself."""
+        return (self.x, self.y)
+
+
+@dataclass(frozen=True)
+class KNNQuery:
+    """The ``k`` segments nearest to ``(x, y)``, nearest first.
+
+    The k-NN generalization of :class:`NNQuery` — one of the "other spatial
+    queries" the paper's future work names.  Like NN, it has no separate
+    filtering/refinement phases, so only the two "fully at" schemes apply.
+    """
+
+    x: float
+    y: float
+    k: int = 5
+
+    kind = QueryKind.NEAREST_NEIGHBOR
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+
+    def focus(self) -> tuple[float, float]:
+        """The query point itself."""
+        return (self.x, self.y)
+
+
+#: Union of the supported query types.
+Query = Union[PointQuery, RangeQuery, NNQuery, KNNQuery]

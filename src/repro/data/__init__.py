@@ -1,0 +1,10 @@
+"""Datasets and workloads.
+
+* :class:`repro.data.model.SegmentDataset` — line-segment dataset container.
+* :mod:`repro.data.tiger` — synthetic TIGER-like road networks (PA, NYC).
+* :mod:`repro.data.workloads` — the paper's query workload generators.
+"""
+
+from repro.data.model import SegmentDataset
+
+__all__ = ["SegmentDataset"]

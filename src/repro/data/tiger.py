@@ -1,0 +1,332 @@
+"""Synthetic TIGER-like road-network datasets.
+
+The paper evaluates on two line-segment extracts of the US Census TIGER
+database:
+
+* **PA** — 139 006 street segments of four rural counties in southern
+  Pennsylvania (Fulton, Franklin, Bedford, Huntingdon), ~10.06 MB.
+* **NYC** — 38 778 street segments of New York City and Union County, NJ,
+  ~7.09 MB (denser, smaller extent, and with *smaller filter selectivity*,
+  which section 6.1.2 shows makes the hybrid partitioning schemes more
+  competitive).
+
+TIGER extracts cannot be bundled here (offline environment), so this module
+synthesizes road networks with the properties the experiments actually
+exercise (DESIGN.md section 2):
+
+1. matching segment cardinality (parameterizable via ``scale``),
+2. clustered density — towns with rectangular street grids connected by
+   rural roads (PA) versus one dominant dense urban grid with diagonal
+   avenues (NYC); the workload generator places query windows
+   density-weighted, as the paper does, so clustering matters,
+3. street segments that share endpoints at intersections (point-query
+   workloads pick segment endpoints and must hit multiple streets).
+
+Generation is deterministic given a seed and fully vectorized (the PA network
+builds in well under a second at full scale).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.data.model import SegmentDataset
+from repro.spatial.mbr import MBR
+
+__all__ = [
+    "PA_SEGMENTS",
+    "NYC_SEGMENTS",
+    "pa_dataset",
+    "nyc_dataset",
+    "waterways_dataset",
+    "grid_town",
+    "street_name",
+]
+
+#: Published cardinalities of the paper's datasets.
+PA_SEGMENTS = 139_006
+NYC_SEGMENTS = 38_778
+
+
+def grid_town(
+    rng: np.random.Generator,
+    cx: float,
+    cy: float,
+    rows: int,
+    cols: int,
+    cell: float,
+    jitter: float = 0.08,
+    angle: float | None = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Street-grid segments for one town centered at ``(cx, cy)``.
+
+    A ``rows x cols`` block grid produces one segment per block edge —
+    horizontal streets split at every intersection (as TIGER polyline pieces
+    are) — with the intersection points jittered by ``jitter`` of a cell so
+    the grid is not artificially perfect.  Jitter is applied to the shared
+    intersection points, not per segment, so streets still meet exactly at
+    endpoints.  When ``angle`` is given the whole grid is rotated around the
+    town center (Manhattan's grid is ~29 degrees off true north).
+
+    Returns the four coordinate columns ``(x1, y1, x2, y2)``.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("rows and cols must be >= 1")
+    # Intersection lattice, jittered once and shared by adjacent edges.
+    xs = (np.arange(cols + 1) - cols / 2.0) * cell
+    ys = (np.arange(rows + 1) - rows / 2.0) * cell
+    gx, gy = np.meshgrid(xs, ys)  # shape (rows+1, cols+1)
+    gx = gx + rng.uniform(-jitter * cell, jitter * cell, gx.shape)
+    gy = gy + rng.uniform(-jitter * cell, jitter * cell, gy.shape)
+
+    if angle is not None:
+        ca, sa = math.cos(angle), math.sin(angle)
+        rx = gx * ca - gy * sa
+        ry = gx * sa + gy * ca
+        gx, gy = rx, ry
+    gx = gx + cx
+    gy = gy + cy
+
+    # Horizontal edges: (r, c) -> (r, c+1); vertical: (r, c) -> (r+1, c).
+    hx1 = gx[:, :-1].ravel()
+    hy1 = gy[:, :-1].ravel()
+    hx2 = gx[:, 1:].ravel()
+    hy2 = gy[:, 1:].ravel()
+    vx1 = gx[:-1, :].ravel()
+    vy1 = gy[:-1, :].ravel()
+    vx2 = gx[1:, :].ravel()
+    vy2 = gy[1:, :].ravel()
+    return (
+        np.concatenate([hx1, vx1]),
+        np.concatenate([hy1, vy1]),
+        np.concatenate([hx2, vx2]),
+        np.concatenate([hy2, vy2]),
+    )
+
+
+def _polyline(
+    rng: np.random.Generator,
+    x0: float,
+    y0: float,
+    x1: float,
+    y1: float,
+    n_pieces: int,
+    wiggle: float,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """A wiggly rural road from ``(x0, y0)`` to ``(x1, y1)`` in ``n_pieces``."""
+    t = np.linspace(0.0, 1.0, n_pieces + 1)
+    px = x0 + (x1 - x0) * t
+    py = y0 + (y1 - y0) * t
+    # Perpendicular wiggle, zero at both ends so roads still meet towns.
+    length = math.hypot(x1 - x0, y1 - y0)
+    if length > 0:
+        nx, ny = -(y1 - y0) / length, (x1 - x0) / length
+        amp = rng.normal(0.0, wiggle * length, n_pieces + 1) * np.sin(np.pi * t)
+        px = px + nx * amp
+        py = py + ny * amp
+    return px[:-1], py[:-1], px[1:], py[1:]
+
+
+def _assemble(
+    name: str,
+    parts: List[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]],
+    target: int,
+    rng: np.random.Generator,
+) -> SegmentDataset:
+    """Concatenate generated parts and trim to exactly ``target`` segments.
+
+    Trimming drops a uniform random subset so spatial coverage is preserved;
+    generators are parameterized to overshoot the target by a few percent.
+    """
+    x1 = np.concatenate([p[0] for p in parts])
+    y1 = np.concatenate([p[1] for p in parts])
+    x2 = np.concatenate([p[2] for p in parts])
+    y2 = np.concatenate([p[3] for p in parts])
+    n = len(x1)
+    if n < target:
+        raise ValueError(
+            f"generator undershoot: produced {n} segments, need {target}; "
+            "increase the generator densities"
+        )
+    keep = rng.permutation(n)[:target]
+    keep.sort()  # keep a deterministic, locality-preserving order
+    return SegmentDataset(name=name, x1=x1[keep], y1=y1[keep], x2=x2[keep], y2=y2[keep])
+
+
+def pa_dataset(scale: float = 1.0, seed: int = 1) -> SegmentDataset:
+    """PA-like rural network: scattered towns with grids plus rural roads.
+
+    ``scale`` shrinks the segment count (and town count) proportionally;
+    tests use ``scale≈0.02`` for speed while benches use full scale.  The
+    extent is ~140 km x 90 km in meters, comparable to four rural counties.
+    """
+    if not (0 < scale <= 1.0):
+        raise ValueError(f"scale must be in (0, 1], got {scale}")
+    target = max(200, int(round(PA_SEGMENTS * scale)))
+    rng = np.random.default_rng(seed)
+    extent = MBR(0.0, 0.0, 140_000.0, 90_000.0)
+
+    parts: List[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
+    produced = 0
+
+    # Four county seats (large towns) plus many villages, sized by a
+    # heavy-tailed distribution: a few big grids, many small ones.
+    n_towns = max(6, int(round(90 * math.sqrt(scale))))
+    town_x = rng.uniform(extent.xmin + 5_000, extent.xmax - 5_000, n_towns)
+    town_y = rng.uniform(extent.ymin + 5_000, extent.ymax - 5_000, n_towns)
+    town_size = np.clip(rng.pareto(1.6, n_towns) + 1.0, 1.0, 12.0)
+    # Scale town grid sizes so total segment budget lands ~8% above target.
+    base = math.sqrt((target * 1.08 * 0.75) / (n_towns * town_size.mean() ** 2 * 2))
+    for i in range(n_towns):
+        side = max(2, int(round(base * town_size[i])))
+        cell = rng.uniform(80.0, 140.0)
+        parts.append(
+            grid_town(
+                rng,
+                float(town_x[i]),
+                float(town_y[i]),
+                rows=side,
+                cols=side,
+                cell=cell,
+                angle=float(rng.uniform(0, math.pi / 2)),
+            )
+        )
+        produced += 2 * side * (side + 1)
+
+    # Rural connector roads between nearby towns (~25% of the budget).
+    rural_budget = int(target * 1.08) - produced
+    order = np.argsort(town_x)
+    i = 0
+    while rural_budget > 0:
+        a = int(order[i % n_towns])
+        b = int(order[(i + 1) % n_towns])
+        n_pieces = int(rng.integers(20, 60))
+        parts.append(
+            _polyline(
+                rng,
+                float(town_x[a]), float(town_y[a]),
+                float(town_x[b]), float(town_y[b]),
+                n_pieces,
+                wiggle=0.02,
+            )
+        )
+        rural_budget -= n_pieces
+        i += 1
+        if i > 10_000:  # pragma: no cover - generator safety valve
+            break
+
+    return _assemble("PA", parts, target, rng)
+
+
+def nyc_dataset(scale: float = 1.0, seed: int = 2) -> SegmentDataset:
+    """NYC-like urban network: one dominant dense grid plus a second cluster.
+
+    A Manhattan-style rotated grid carries most of the segments; a smaller
+    Union-County-like grid sits to the southwest; diagonal avenues cross the
+    main grid.  Extent ~40 km x 40 km.
+    """
+    if not (0 < scale <= 1.0):
+        raise ValueError(f"scale must be in (0, 1], got {scale}")
+    target = max(200, int(round(NYC_SEGMENTS * scale)))
+    rng = np.random.default_rng(seed)
+
+    parts: List[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
+
+    # Main grid: ~70% of segments. rows x cols with 2*r*c edges ~ budget.
+    # Manhattan-sized blocks (~70 m cells) packed into a long narrow island;
+    # the harbor/water emptiness separating the boroughs from Union County
+    # keeps the *extent* much larger than the built-up area, as in the TIGER
+    # extract — which is what gives NYC per-query candidate volumes
+    # comparable to (though below) PA's under extent-relative window sizes.
+    main_budget = int(target * 1.08 * 0.70)
+    aspect = 4.0  # long, narrow island grid
+    cols = max(2, int(math.sqrt(main_budget / (2 * aspect))))
+    rows = max(2, int(cols * aspect))
+    parts.append(
+        grid_town(
+            rng, 38_000.0, 34_000.0, rows=rows, cols=cols, cell=70.0,
+            jitter=0.04, angle=math.radians(29.0),
+        )
+    )
+
+    # Union-County-like cluster to the southwest: ~25%.
+    side = max(2, int(math.sqrt(int(target * 1.08 * 0.25) / 2)))
+    parts.append(
+        grid_town(
+            rng, 9_000.0, 8_000.0, rows=side, cols=side, cell=90.0,
+            jitter=0.07, angle=math.radians(10.0),
+        )
+    )
+
+    # Diagonal avenues (Broadway-style) through the main grid: the rest.
+    for _ in range(6):
+        x0 = rng.uniform(28_000, 36_000)
+        y0 = 14_000.0
+        x1 = x0 + rng.uniform(6_000, 14_000)
+        y1 = 52_000.0
+        parts.append(_polyline(rng, x0, y0, x1, y1, int(rng.integers(60, 120)), 0.01))
+
+    return _assemble("NYC", parts, target, rng)
+
+
+def waterways_dataset(
+    roads: SegmentDataset, n_rivers: int = 12, seed: int = 5
+) -> SegmentDataset:
+    """A second layer of river/creek polylines crossing the road extent.
+
+    Used by the spatial-join experiments ("find every bridge"): rivers are
+    long wiggly polylines spanning the roads' extent, so joining the two
+    layers yields the road-river crossings.  Segment pieces are ~road-scale
+    so the join's candidate volumes are realistic.
+    """
+    if n_rivers < 1:
+        raise ValueError(f"n_rivers must be >= 1, got {n_rivers}")
+    rng = np.random.default_rng(seed)
+    ext = roads.extent
+    parts: List[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
+    total = 0
+    for r in range(n_rivers):
+        vertical = r % 2 == 0
+        if vertical:
+            x0 = rng.uniform(ext.xmin, ext.xmax)
+            x1 = min(max(x0 + rng.normal(0, ext.width * 0.2), ext.xmin), ext.xmax)
+            y0, y1 = ext.ymin, ext.ymax
+        else:
+            y0 = rng.uniform(ext.ymin, ext.ymax)
+            y1 = min(max(y0 + rng.normal(0, ext.height * 0.2), ext.ymin), ext.ymax)
+            x0, x1 = ext.xmin, ext.xmax
+        n_pieces = int(rng.integers(60, 160))
+        parts.append(_polyline(rng, x0, y0, x1, y1, n_pieces, wiggle=0.05))
+        total += n_pieces
+    x1c = np.concatenate([p[0] for p in parts])
+    y1c = np.concatenate([p[1] for p in parts])
+    x2c = np.concatenate([p[2] for p in parts])
+    y2c = np.concatenate([p[3] for p in parts])
+    return SegmentDataset(
+        name=f"{roads.name}-waterways", x1=x1c, y1=y1c, x2=x2c, y2=y2c
+    )
+
+
+_NAME_STEMS = (
+    "Oak", "Maple", "Chestnut", "Walnut", "Market", "Church", "Mill", "High",
+    "Ridge", "Valley", "Spring", "Juniata", "Tuscarora", "Broad", "Union",
+    "Liberty", "Franklin", "Bedford", "Fulton", "Hunting",
+)
+_NAME_SUFFIXES = ("St", "Ave", "Rd", "Ln", "Pike", "Blvd", "Way", "Dr")
+
+
+def street_name(segment_id: int) -> str:
+    """A deterministic synthetic street name for a segment id.
+
+    The stored byte-size model (:attr:`repro.constants.CostModel.
+    segment_record_bytes`) already accounts for a fixed-width name payload;
+    names are synthesized on demand rather than stored, so examples can print
+    human-readable answers without inflating memory.
+    """
+    stem = _NAME_STEMS[segment_id % len(_NAME_STEMS)]
+    suffix = _NAME_SUFFIXES[(segment_id // len(_NAME_STEMS)) % len(_NAME_SUFFIXES)]
+    number = (segment_id * 7919) % 900 + 100
+    return f"{stem} {suffix} (block {number})"

@@ -1,0 +1,19 @@
+"""Hardware/energy simulation substrate.
+
+Coarse operation-level replacements for the paper's simulators (see DESIGN.md
+section 2 for the substitution table):
+
+* :mod:`repro.sim.cpu` — client CPU cycle/energy model (SimplePower stand-in).
+* :mod:`repro.sim.server` — server CPU cycle model (SimpleScalar stand-in).
+* :mod:`repro.sim.cache` — set-associative D-cache simulator.
+* :mod:`repro.sim.nic` — wireless NIC power-state machine (Table 2).
+* :mod:`repro.sim.radio` — distance-dependent transmit power.
+* :mod:`repro.sim.protocol` — TCP/IP packetization over the wireless link.
+* :mod:`repro.sim.trace` — operation counters and access traces.
+* :mod:`repro.sim.metrics` — energy/cycle breakdown records (the figures'
+  stacked-bar quantities).
+"""
+
+from repro.sim.trace import OpCounter
+
+__all__ = ["OpCounter"]

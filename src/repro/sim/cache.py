@@ -1,0 +1,104 @@
+"""Set-associative LRU cache simulator (the client D-cache model).
+
+The paper's client has an 8 KB 4-way set-associative data cache with 32-byte
+lines and a 100-cycle DRAM penalty; cache behaviour is what made the original
+study's "fully at the client" executions memory-bound on large working sets.
+The cost model replays each query phase's data-access trace (recorded by
+:class:`repro.sim.trace.OpCounter`) through this simulator, so miss counts —
+and therefore stall cycles and memory energy — are genuinely data-dependent:
+a Hilbert-packed traversal touches contiguous node ranges and misses less
+than an unsorted packing of the same tree, which the packing ablation bench
+demonstrates.
+
+The simulator is deliberately small: physically indexed, true-LRU,
+write-allocate with no write-back accounting (the workload is read-dominated
+index traversal), and addresses are the synthetic region-based layout built
+by :mod:`repro.sim.cpu`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+__all__ = ["CacheSim"]
+
+
+class CacheSim:
+    """A ``size_bytes`` set-associative cache with LRU replacement."""
+
+    def __init__(self, size_bytes: int, assoc: int, line_bytes: int) -> None:
+        if size_bytes <= 0 or assoc <= 0 or line_bytes <= 0:
+            raise ValueError("cache geometry parameters must be positive")
+        if size_bytes % (assoc * line_bytes) != 0:
+            raise ValueError(
+                f"size {size_bytes} not divisible by assoc*line "
+                f"({assoc}*{line_bytes})"
+            )
+        self.size_bytes = size_bytes
+        self.assoc = assoc
+        self.line_bytes = line_bytes
+        self.n_sets = size_bytes // (assoc * line_bytes)
+        # Per-set list of tags, most-recently-used last.
+        self._sets: List[List[int]] = [[] for _ in range(self.n_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Empty the cache and zero the counters."""
+        self._sets = [[] for _ in range(self.n_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def access_line(self, line_addr: int) -> bool:
+        """Touch one cache line (by line-granular address); True on hit."""
+        set_idx = line_addr % self.n_sets
+        tag = line_addr // self.n_sets
+        ways = self._sets[set_idx]
+        try:
+            ways.remove(tag)
+        except ValueError:
+            self.misses += 1
+            if len(ways) >= self.assoc:
+                ways.pop(0)  # evict LRU
+            ways.append(tag)
+            return False
+        self.hits += 1
+        ways.append(tag)  # move to MRU
+        return True
+
+    def access(self, addr: int, nbytes: int) -> Tuple[int, int]:
+        """Touch ``nbytes`` starting at byte address ``addr``.
+
+        Returns ``(hits, misses)`` for the lines spanned.  A zero-byte access
+        is a no-op (returns ``(0, 0)``).
+        """
+        if nbytes <= 0:
+            return (0, 0)
+        first = addr // self.line_bytes
+        last = (addr + nbytes - 1) // self.line_bytes
+        h = m = 0
+        for line in range(first, last + 1):
+            if self.access_line(line):
+                h += 1
+            else:
+                m += 1
+        return (h, m)
+
+    def run_trace(self, accesses: Iterable[Tuple[int, int]]) -> Tuple[int, int]:
+        """Replay ``(addr, nbytes)`` pairs; returns total ``(hits, misses)``."""
+        h0, m0 = self.hits, self.misses
+        for addr, nbytes in accesses:
+            self.access(addr, nbytes)
+        return (self.hits - h0, self.misses - m0)
+
+    @property
+    def accesses(self) -> int:
+        """Total line touches so far."""
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of line touches that missed (0 when untouched)."""
+        total = self.accesses
+        return self.misses / total if total else 0.0

@@ -1,0 +1,109 @@
+"""Energy and cycle breakdown records — the figures' stacked-bar quantities.
+
+Every figure in the paper's evaluation section plots, per scheme and
+bandwidth, (a) the client's energy split into *Processor* (datapath, clock,
+caches, buses, memory — everything but the NIC) and the NIC's *Tx*, *Rx* and
+*Idle* components, and (b) the total execution cycles split into *Processor*
+cycles and NIC *Tx*/*Rx* cycles (with server wait folded into the total).
+These two records carry exactly those buckets, support elementwise addition
+and scaling (workloads sum 100 runs), and render themselves for the text
+reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+__all__ = ["EnergyBreakdown", "CycleBreakdown"]
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Client-side energy in joules, bucketed as the paper's energy bars."""
+
+    #: Datapath + clock + caches + buses + DRAM (everything but the NIC).
+    processor: float = 0.0
+    #: NIC energy while transmitting.
+    nic_tx: float = 0.0
+    #: NIC energy while receiving.
+    nic_rx: float = 0.0
+    #: NIC energy while idle (waiting, able to sense the channel).
+    nic_idle: float = 0.0
+    #: NIC energy while asleep (the paper folds this into the comparison via
+    #: ``P_sleep`` in ``E_fully_local``; we keep it as its own bucket).
+    nic_sleep: float = 0.0
+
+    def total(self) -> float:
+        """Sum of all buckets."""
+        return sum(getattr(self, f.name) for f in fields(self))
+
+    def nic_total(self) -> float:
+        """NIC-only energy."""
+        return self.nic_tx + self.nic_rx + self.nic_idle + self.nic_sleep
+
+    def __add__(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
+        return EnergyBreakdown(
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def scaled(self, k: float) -> "EnergyBreakdown":
+        """Every bucket multiplied by ``k`` (averaging workload sums)."""
+        return EnergyBreakdown(
+            **{f.name: getattr(self, f.name) * k for f in fields(self)}
+        )
+
+    def as_dict(self) -> dict:
+        """Buckets as a plain dict."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+@dataclass(frozen=True)
+class CycleBreakdown:
+    """End-to-end latency in *client* cycles, bucketed as the cycle bars.
+
+    Everything is expressed in client-clock cycles (the paper's performance
+    graphs do the same — note Figure 8's caption, where the faster client's
+    cycles are denominated in its own clock).  The ``wait`` bucket is the
+    client-cycle equivalent of the server's compute time,
+    ``C_wait = C_w2 * MhzC / MhzS``.
+    """
+
+    #: Client cycles spent computing (local query work + protocol work).
+    processor: float = 0.0
+    #: Client cycles elapsed while the NIC transmits.
+    nic_tx: float = 0.0
+    #: Client cycles elapsed while the NIC receives.
+    nic_rx: float = 0.0
+    #: Client cycles elapsed waiting for the server's portion.
+    wait: float = 0.0
+
+    def total(self) -> float:
+        """End-to-end cycles from query submission to answer."""
+        return self.processor + self.nic_tx + self.nic_rx + self.wait
+
+    def __add__(self, other: "CycleBreakdown") -> "CycleBreakdown":
+        return CycleBreakdown(
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def scaled(self, k: float) -> "CycleBreakdown":
+        """Every bucket multiplied by ``k``."""
+        return CycleBreakdown(
+            **{f.name: getattr(self, f.name) * k for f in fields(self)}
+        )
+
+    def seconds(self, clock_hz: float) -> float:
+        """Wall-clock duration at the given client clock."""
+        if clock_hz <= 0:
+            raise ValueError(f"clock_hz must be positive, got {clock_hz!r}")
+        return self.total() / clock_hz
+
+    def as_dict(self) -> dict:
+        """Buckets as a plain dict."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}

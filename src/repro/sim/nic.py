@@ -1,0 +1,154 @@
+"""Wireless NIC power-state machine with a time/energy ledger.
+
+The NIC has the paper's four states (Table 2):
+
+* ``TRANSMIT`` — sending; power depends on the distance to the base station.
+* ``RECEIVE`` — receiving (165 mW).
+* ``IDLE`` — can sense the channel for incoming traffic (100 mW); used while
+  the client waits for the server's response.
+* ``SLEEP`` — radio off (19.8 mW); cannot even sense a message, so it is only
+  used when no traffic can possibly arrive (before a request is sent and
+  after the final response).  Exiting SLEEP costs 470 µs, charged at idle
+  power (the radio is powering its synthesizer back up).
+
+The executor (:mod:`repro.core.executor`) drives the machine through the
+communication pattern of each work-partitioning scheme; the ledger records
+per-state time and energy, which map one-to-one onto the figures' NIC-Tx /
+NIC-Rx / NIC-Idle bars.  The ledger's conservation laws (total time equals
+the sum of state times; energy equals the sum of power x time per state) are
+property-tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict
+
+from repro.constants import DEFAULT_NIC_POWER, NICPowerTable
+from repro.sim.radio import RadioModel
+
+__all__ = ["NICState", "NIC"]
+
+
+class NICState(Enum):
+    """The four NIC power states of Table 2."""
+
+    TRANSMIT = "transmit"
+    RECEIVE = "receive"
+    IDLE = "idle"
+    SLEEP = "sleep"
+
+
+@dataclass
+class NIC:
+    """One NIC instance accumulating a per-state time/energy ledger.
+
+    The machine starts in SLEEP.  State changes happen implicitly through
+    the activity methods (:meth:`transmit`, :meth:`receive`, :meth:`idle`,
+    :meth:`sleep`); exiting SLEEP automatically charges the exit latency.
+    All methods return the wall-clock seconds they consumed, so the caller
+    can keep CPU and NIC timelines aligned.
+    """
+
+    power_table: NICPowerTable = DEFAULT_NIC_POWER
+    distance_m: float = 1000.0
+    radio: RadioModel = field(default_factory=RadioModel)
+    state: NICState = NICState.SLEEP
+    time_s: Dict[NICState, float] = field(
+        default_factory=lambda: {s: 0.0 for s in NICState}
+    )
+    energy_j: Dict[NICState, float] = field(
+        default_factory=lambda: {s: 0.0 for s in NICState}
+    )
+    #: Count of SLEEP exits (each costs the exit latency).
+    sleep_exits: int = 0
+
+    def __post_init__(self) -> None:
+        if self.radio.power_table is not self.power_table:
+            # Keep the radio model consistent with this NIC's table.
+            self.radio = RadioModel(
+                power_table=self.power_table,
+                path_loss_exponent=self.radio.path_loss_exponent,
+            )
+
+    # ------------------------------------------------------------------
+    def _power_of(self, state: NICState) -> float:
+        if state is NICState.TRANSMIT:
+            return self.radio.transmit_power_w(self.distance_m)
+        if state is NICState.RECEIVE:
+            return self.power_table.receive_w
+        if state is NICState.IDLE:
+            return self.power_table.idle_w
+        return self.power_table.sleep_w
+
+    def _spend(self, state: NICState, seconds: float) -> float:
+        if seconds < 0:
+            raise ValueError(f"negative duration {seconds!r}")
+        self.time_s[state] += seconds
+        self.energy_j[state] += self._power_of(state) * seconds
+        return seconds
+
+    def _leave_sleep(self) -> float:
+        """Charge the SLEEP exit latency (at idle power) when waking up."""
+        if self.state is NICState.SLEEP:
+            self.sleep_exits += 1
+            return self._spend(
+                NICState.IDLE, self.power_table.sleep_exit_latency_s
+            )
+        return 0.0
+
+    # ------------------------------------------------------------------
+    # Activities (each returns elapsed seconds, including any wake-up)
+    # ------------------------------------------------------------------
+    def transmit(self, bits: float, bandwidth_bps: float) -> float:
+        """Transmit ``bits`` at ``bandwidth_bps``."""
+        if bits < 0:
+            raise ValueError(f"negative bit count {bits!r}")
+        if bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth_bps!r}")
+        elapsed = self._leave_sleep()
+        self.state = NICState.TRANSMIT
+        elapsed += self._spend(NICState.TRANSMIT, bits / bandwidth_bps)
+        return elapsed
+
+    def receive(self, bits: float, bandwidth_bps: float) -> float:
+        """Receive ``bits`` at ``bandwidth_bps``.
+
+        The NIC must be awake to notice the incoming message — receiving
+        straight out of SLEEP indicates a scheme bug, so it raises.
+        """
+        if bits < 0:
+            raise ValueError(f"negative bit count {bits!r}")
+        if bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth_bps!r}")
+        if self.state is NICState.SLEEP:
+            raise RuntimeError(
+                "receive() while asleep: the NIC cannot sense an incoming "
+                "message in SLEEP (drive it to IDLE first)"
+            )
+        self.state = NICState.RECEIVE
+        return self._spend(NICState.RECEIVE, bits / bandwidth_bps)
+
+    def idle(self, seconds: float) -> float:
+        """Stay idle (channel-sensing) for ``seconds``."""
+        elapsed = self._leave_sleep()
+        self.state = NICState.IDLE
+        elapsed += self._spend(NICState.IDLE, seconds)
+        return elapsed
+
+    def sleep(self, seconds: float) -> float:
+        """Sleep for ``seconds`` (no incoming traffic possible)."""
+        self.state = NICState.SLEEP
+        return self._spend(NICState.SLEEP, seconds)
+
+    # ------------------------------------------------------------------
+    # Ledger
+    # ------------------------------------------------------------------
+    def total_time_s(self) -> float:
+        """Total time accounted across all states."""
+        return sum(self.time_s.values())
+
+    def total_energy_j(self) -> float:
+        """Total NIC energy across all states."""
+        return sum(self.energy_j.values())

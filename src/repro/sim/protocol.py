@@ -1,0 +1,96 @@
+"""TCP/IP packetization over the wireless link.
+
+The paper's communication model: "All message transfers include the TCP and
+IP headers, and are broken down into segments and finally into frames based
+on the Maximum Transmission Unit (MTU). The transfer time and energy
+consumption are calculated based on the wireless bandwidth (B) and the power
+consumption in the appropriate mode."  The client additionally pays CPU
+cycles for protocol processing — the ``C_protocol``/``E_protocol`` terms of
+section 4.1 — which this module expresses as an instruction count the CPU
+model prices.
+
+:func:`packetize` maps a payload size to its on-the-wire footprint;
+byte-conservation (wire bytes = payload + per-frame header overhead, no more,
+no less) is property-tested.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.constants import DEFAULT_NETWORK, NetworkConfig
+
+__all__ = ["WireMessage", "packetize", "transfer_seconds"]
+
+
+@dataclass(frozen=True)
+class WireMessage:
+    """One application message as it appears on the wireless link."""
+
+    #: Application payload bytes.
+    payload_bytes: int
+    #: Number of MTU-sized frames the payload was split into.
+    n_frames: int
+    #: Header bytes added across all frames (TCP + IP + link framing).
+    header_bytes: int
+
+    @property
+    def wire_bytes(self) -> int:
+        """Total bytes on the wire."""
+        return self.payload_bytes + self.header_bytes
+
+    @property
+    def wire_bits(self) -> int:
+        """Total bits on the wire."""
+        return self.wire_bytes * 8
+
+
+def packetize(payload_bytes: int, net: NetworkConfig = DEFAULT_NETWORK) -> WireMessage:
+    """Split a payload into MTU frames and account the header overhead.
+
+    A zero-byte payload still produces one frame (a request with an empty
+    body is still a packet); negative sizes raise.
+    """
+    if payload_bytes < 0:
+        raise ValueError(f"payload_bytes must be >= 0, got {payload_bytes!r}")
+    per_frame_capacity = net.mtu_bytes - net.tcp_header_bytes - net.ip_header_bytes
+    if per_frame_capacity <= 0:
+        raise ValueError(
+            f"MTU {net.mtu_bytes} too small for TCP/IP headers "
+            f"({net.tcp_header_bytes}+{net.ip_header_bytes})"
+        )
+    n_frames = max(1, math.ceil(payload_bytes / per_frame_capacity))
+    per_frame_overhead = (
+        net.tcp_header_bytes + net.ip_header_bytes + net.link_header_bytes
+    )
+    return WireMessage(
+        payload_bytes=payload_bytes,
+        n_frames=n_frames,
+        header_bytes=n_frames * per_frame_overhead,
+    )
+
+
+def transfer_seconds(msg: WireMessage, bandwidth_bps: float) -> float:
+    """Wire time of ``msg`` at the effective delivered bandwidth ``B``.
+
+    Channel errors, MAC contention and modulation effects are folded into
+    the *effective* bandwidth, per the paper.
+    """
+    if bandwidth_bps <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth_bps!r}")
+    return msg.wire_bits / bandwidth_bps
+
+
+def protocol_instructions(msg: WireMessage, net: NetworkConfig = DEFAULT_NETWORK) -> float:
+    """Client instructions to send or receive ``msg`` (the C_protocol term).
+
+    A fixed per-message cost (system call, socket bookkeeping), a per-frame
+    cost (segmentation/reassembly, checksums, interrupts) and a per-byte cost
+    (buffer copies).
+    """
+    return (
+        net.per_message_instructions
+        + msg.n_frames * net.per_frame_instructions
+        + msg.payload_bytes * net.per_byte_instructions
+    )

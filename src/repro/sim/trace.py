@@ -1,0 +1,135 @@
+"""Operation counting and memory-trace recording for the CPU cost models.
+
+The reproduction replaces the cycle-accurate SimplePower/SimpleScalar
+simulators with an operation-level model (DESIGN.md section 2): the *actual*
+query algorithms execute in Python, and every abstract operation they perform
+is tallied in an :class:`OpCounter`.  The CPU models in :mod:`repro.sim.cpu`
+and :mod:`repro.sim.server` then price the counters into cycles and energy.
+
+Two kinds of information are recorded:
+
+* **Counts** — node visits, MBR tests, scanned entries, refined candidates,
+  geometry primitives (as separate integer-instruction and FP-operation
+  weights), heap operations, produced results.
+* **Access trace** — the sequence of (region, object id, size) data touches
+  made by the traversal.  :class:`repro.sim.cache.CacheSim` replays this trace
+  against the client D-cache to get dataset-dependent miss stalls, which is
+  what makes e.g. a Hilbert-packed tree genuinely cheaper to traverse than an
+  unsorted one in the model (the ablation bench relies on this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List
+
+__all__ = ["Access", "OpCounter"]
+
+#: Memory regions used to lay out synthetic addresses (see ``cpu.py``).
+REGION_INDEX = 0
+REGION_DATA = 1
+REGION_RESULT = 2
+
+
+@dataclass(frozen=True, slots=True)
+class Access:
+    """One logical data touch: ``region`` + object id + touched bytes."""
+
+    region: int
+    object_id: int
+    nbytes: int
+
+
+@dataclass
+class OpCounter:
+    """Tally of abstract operations performed by a query phase.
+
+    Counters are plain integers mutated in-place by the traversal code;
+    :meth:`merge` accumulates phase counters into workload totals, and the
+    arithmetic is exercised by unit tests (merge must be associative and
+    lossless).
+    """
+
+    #: Index nodes visited during filtering / NN search.
+    nodes_visited: int = 0
+    #: MBR overlap / containment / MINDIST-ordering tests executed.
+    mbr_tests: int = 0
+    #: Leaf entries scanned into candidate lists.
+    entries_scanned: int = 0
+    #: Candidates passed to the refinement step.
+    candidates_refined: int = 0
+    #: Exact point-in-segment tests (point-query refinement).
+    point_refine_tests: int = 0
+    #: Exact segment-vs-window tests (range-query refinement).
+    range_refine_tests: int = 0
+    #: Point-to-segment distance evaluations (NN search).
+    distance_evals: int = 0
+    #: Priority-queue push/pop operations (NN search).
+    heap_ops: int = 0
+    #: Result objects produced.
+    results_produced: int = 0
+
+    #: Ordered data-touch trace (kept lightweight: tuples in a list).
+    trace: List[Access] = field(default_factory=list)
+    #: When False, the trace list is not populated (cheaper bulk sweeps that
+    #: only need counts can disable it).
+    record_trace: bool = True
+
+    # ------------------------------------------------------------------
+    # Recording API used by the traversal code
+    # ------------------------------------------------------------------
+    def touch(self, region: int, object_id: int, nbytes: int) -> None:
+        """Record a data access of ``nbytes`` to ``object_id`` in ``region``."""
+        if self.record_trace:
+            self.trace.append(Access(region, object_id, nbytes))
+
+    def visit_node(self, node_id: int, nbytes: int) -> None:
+        """Record an index-node visit (count + index-region touch)."""
+        self.nodes_visited += 1
+        self.touch(REGION_INDEX, node_id, nbytes)
+
+    def refine_candidate(self, segment_id: int, nbytes: int) -> None:
+        """Record fetching one candidate segment for refinement."""
+        self.candidates_refined += 1
+        self.touch(REGION_DATA, segment_id, nbytes)
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    _COUNT_FIELDS = (
+        "nodes_visited",
+        "mbr_tests",
+        "entries_scanned",
+        "candidates_refined",
+        "point_refine_tests",
+        "range_refine_tests",
+        "distance_evals",
+        "heap_ops",
+        "results_produced",
+    )
+
+    def merge(self, other: "OpCounter") -> None:
+        """Accumulate ``other`` into this counter (counts and trace)."""
+        for name in self._COUNT_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        if self.record_trace and other.record_trace:
+            self.trace.extend(other.trace)
+
+    def copy_counts(self) -> "OpCounter":
+        """A trace-free copy carrying only the counts."""
+        c = OpCounter(record_trace=False)
+        for name in self._COUNT_FIELDS:
+            setattr(c, name, getattr(self, name))
+        return c
+
+    def counts_dict(self) -> dict:
+        """Counts as a plain dict (for reports and tests)."""
+        return {name: getattr(self, name) for name in self._COUNT_FIELDS}
+
+    def total_events(self) -> int:
+        """Sum of all counters — a quick 'did anything happen' probe."""
+        return sum(getattr(self, name) for name in self._COUNT_FIELDS)
+
+    def iter_trace(self) -> Iterator[Access]:
+        """Iterate the recorded access trace in program order."""
+        return iter(self.trace)

@@ -1,0 +1,99 @@
+"""Small unit-conversion helpers used across the simulation substrate.
+
+All internal bookkeeping is done in SI base units (seconds, joules, watts,
+bits/second, hertz); these helpers exist to make call sites self-documenting
+and to centralize the handful of conversion constants.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "mbps_to_bps",
+    "bps_to_mbps",
+    "mhz_to_hz",
+    "hz_to_mhz",
+    "mw_to_w",
+    "w_to_mw",
+    "us_to_s",
+    "s_to_us",
+    "bytes_to_bits",
+    "bits_to_bytes",
+    "cycles_to_seconds",
+    "seconds_to_cycles",
+    "joules",
+]
+
+
+def mbps_to_bps(mbps: float) -> float:
+    """Megabits/second to bits/second."""
+    return mbps * 1_000_000.0
+
+
+def bps_to_mbps(bps: float) -> float:
+    """Bits/second to megabits/second."""
+    return bps / 1_000_000.0
+
+
+def mhz_to_hz(mhz: float) -> float:
+    """Megahertz to hertz."""
+    return mhz * 1_000_000.0
+
+
+def hz_to_mhz(hz: float) -> float:
+    """Hertz to megahertz."""
+    return hz / 1_000_000.0
+
+
+def mw_to_w(mw: float) -> float:
+    """Milliwatts to watts."""
+    return mw / 1000.0
+
+
+def w_to_mw(w: float) -> float:
+    """Watts to milliwatts."""
+    return w * 1000.0
+
+
+def us_to_s(us: float) -> float:
+    """Microseconds to seconds."""
+    return us / 1_000_000.0
+
+
+def s_to_us(s: float) -> float:
+    """Seconds to microseconds."""
+    return s * 1_000_000.0
+
+
+def bytes_to_bits(nbytes: float) -> float:
+    """Bytes to bits."""
+    return nbytes * 8.0
+
+
+def bits_to_bytes(nbits: float) -> float:
+    """Bits to bytes."""
+    return nbits / 8.0
+
+
+def cycles_to_seconds(cycles: float, clock_hz: float) -> float:
+    """Wall-clock seconds taken by ``cycles`` at ``clock_hz``.
+
+    Raises :class:`ValueError` for a non-positive clock — a zero clock would
+    silently produce infinite times deep inside an experiment sweep.
+    """
+    if clock_hz <= 0:
+        raise ValueError(f"clock_hz must be positive, got {clock_hz!r}")
+    return cycles / clock_hz
+
+
+def seconds_to_cycles(seconds: float, clock_hz: float) -> float:
+    """Cycles elapsed at ``clock_hz`` over ``seconds`` of wall-clock time."""
+    if clock_hz <= 0:
+        raise ValueError(f"clock_hz must be positive, got {clock_hz!r}")
+    return seconds * clock_hz
+
+
+def joules(power_w: float, seconds: float) -> float:
+    """Energy (J) of drawing ``power_w`` watts for ``seconds`` seconds."""
+    if seconds < 0:
+        raise ValueError(f"duration must be non-negative, got {seconds!r}")
+    return power_w * seconds

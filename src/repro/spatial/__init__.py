@@ -1,0 +1,36 @@
+"""Spatial substrate: geometry, Hilbert curve, packed R-tree, extraction.
+
+Public surface re-exported here; see the individual modules for detail:
+
+* :class:`repro.spatial.mbr.MBR` — minimum bounding rectangles.
+* :mod:`repro.spatial.geometry` / :mod:`repro.spatial.vecgeom` — exact
+  segment predicates (scalar reference + vectorized).
+* :mod:`repro.spatial.hilbert` — Hilbert curve encode/decode.
+* :class:`repro.spatial.rtree.PackedRTree` — the paper's index structure.
+* :mod:`repro.spatial.extract` — budgeted subtree extraction (Figure 2).
+* :mod:`repro.spatial.bruteforce` — linear-scan oracle.
+* :mod:`repro.spatial.stats` — tree statistics and invariant checker.
+"""
+
+from repro.spatial.mbr import MBR
+from repro.spatial.rtree import DEFAULT_NODE_CAPACITY, PackedRTree
+from repro.spatial.extract import (
+    Extraction,
+    coverage_rect,
+    extract_range,
+    max_entries_within_budget,
+)
+from repro.spatial.quadtree import PMRQuadtree
+from repro.spatial.buddytree import BuddyTree
+
+__all__ = [
+    "MBR",
+    "PackedRTree",
+    "PMRQuadtree",
+    "BuddyTree",
+    "DEFAULT_NODE_CAPACITY",
+    "Extraction",
+    "coverage_rect",
+    "extract_range",
+    "max_entries_within_budget",
+]

@@ -1,0 +1,189 @@
+"""Exact geometric predicates on line segments (the refinement step).
+
+Road-atlas datasets are dominated by line segments (street polyline pieces),
+and the three queries of the paper refine candidates with exactly three
+primitives, implemented here:
+
+* :func:`segment_contains_point` — point query refinement: does a segment pass
+  through a query point (within a tolerance)?
+* :func:`segment_intersects_rect` — range (window) query refinement: does a
+  segment intersect an axis-aligned rectangle?
+* :func:`point_segment_distance` — nearest-neighbor metric: perpendicular
+  distance to the segment when the foot of the perpendicular lies on it,
+  distance to the nearer endpoint otherwise (the paper's definition).
+
+These are the scalar reference implementations; :mod:`repro.spatial.vecgeom`
+provides NumPy-vectorized equivalents used by the brute-force oracle and the
+dataset generators.  Tolerances are explicit parameters because point queries
+on floating-point road data are meaningless at exact-zero tolerance.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.spatial.mbr import MBR
+
+__all__ = [
+    "DEFAULT_EPS",
+    "segment_contains_point",
+    "segment_intersects_rect",
+    "segments_intersect",
+    "point_segment_distance_sq",
+    "point_segment_distance",
+    "segment_length",
+]
+
+#: Default tolerance for point-on-segment membership, in dataset coordinate
+#: units.  Datasets produced by :mod:`repro.data.tiger` use a unit square
+#: extent, so this is ~1e-9 of the extent: effectively "exact" for endpoints
+#: chosen from the data, while still robust to float rounding.
+DEFAULT_EPS = 1e-9
+
+
+def segment_length(x1: float, y1: float, x2: float, y2: float) -> float:
+    """Euclidean length of the segment ``(x1, y1)-(x2, y2)``."""
+    return math.hypot(x2 - x1, y2 - y1)
+
+
+def point_segment_distance_sq(
+    px: float, py: float, x1: float, y1: float, x2: float, y2: float
+) -> float:
+    """Squared distance from point ``(px, py)`` to segment ``(x1,y1)-(x2,y2)``.
+
+    Uses the standard projection parameterization: the foot of the
+    perpendicular at parameter ``t`` is clamped to ``[0, 1]`` so that the
+    result is the perpendicular distance when the perpendicular meets the
+    segment and the distance to the closest endpoint otherwise — exactly the
+    nearest-neighbor distance definition in the paper.
+    """
+    dx = x2 - x1
+    dy = y2 - y1
+    len_sq = dx * dx + dy * dy
+    if len_sq == 0.0:
+        # Degenerate segment: a point.
+        ex = px - x1
+        ey = py - y1
+        return ex * ex + ey * ey
+    t = ((px - x1) * dx + (py - y1) * dy) / len_sq
+    if t < 0.0:
+        t = 0.0
+    elif t > 1.0:
+        t = 1.0
+    cx = x1 + t * dx
+    cy = y1 + t * dy
+    ex = px - cx
+    ey = py - cy
+    return ex * ex + ey * ey
+
+
+def point_segment_distance(
+    px: float, py: float, x1: float, y1: float, x2: float, y2: float
+) -> float:
+    """Distance from a point to a segment (see the squared variant)."""
+    return math.sqrt(point_segment_distance_sq(px, py, x1, y1, x2, y2))
+
+
+def segment_contains_point(
+    px: float,
+    py: float,
+    x1: float,
+    y1: float,
+    x2: float,
+    y2: float,
+    eps: float = DEFAULT_EPS,
+) -> bool:
+    """True when the segment passes within ``eps`` of the point.
+
+    This is the refinement predicate of the point query: "all line segments
+    that intersect a given point", with a tolerance making it robust on float
+    coordinates (streets meeting at an intersection share an endpoint exactly
+    in the datasets, so endpoint-anchored query workloads are exact).
+    """
+    return point_segment_distance_sq(px, py, x1, y1, x2, y2) <= eps * eps
+
+
+def _orient(ax: float, ay: float, bx: float, by: float, cx: float, cy: float) -> float:
+    """Signed area orientation of the triangle ``a, b, c``."""
+    return (bx - ax) * (cy - ay) - (by - ay) * (cx - ax)
+
+
+def segments_intersect(
+    ax1: float, ay1: float, ax2: float, ay2: float,
+    bx1: float, by1: float, bx2: float, by2: float,
+) -> bool:
+    """True when segments ``a`` and ``b`` intersect (including touching).
+
+    Standard orientation test with collinear-overlap handling; used by the
+    window-clip refinement and exposed for spatial-join style extensions.
+    """
+    d1 = _orient(bx1, by1, bx2, by2, ax1, ay1)
+    d2 = _orient(bx1, by1, bx2, by2, ax2, ay2)
+    d3 = _orient(ax1, ay1, ax2, ay2, bx1, by1)
+    d4 = _orient(ax1, ay1, ax2, ay2, bx2, by2)
+    if ((d1 > 0 and d2 < 0) or (d1 < 0 and d2 > 0)) and (
+        (d3 > 0 and d4 < 0) or (d3 < 0 and d4 > 0)
+    ):
+        return True
+
+    def on_segment(px, py, qx, qy, rx, ry) -> bool:
+        # r collinear with pq: does r lie within the pq bounding box?
+        return min(px, qx) <= rx <= max(px, qx) and min(py, qy) <= ry <= max(py, qy)
+
+    if d1 == 0 and on_segment(bx1, by1, bx2, by2, ax1, ay1):
+        return True
+    if d2 == 0 and on_segment(bx1, by1, bx2, by2, ax2, ay2):
+        return True
+    if d3 == 0 and on_segment(ax1, ay1, ax2, ay2, bx1, by1):
+        return True
+    if d4 == 0 and on_segment(ax1, ay1, ax2, ay2, bx2, by2):
+        return True
+    return False
+
+
+# Cohen-Sutherland outcodes for the window clip test.
+_INSIDE, _LEFT, _RIGHT, _BOTTOM, _TOP = 0, 1, 2, 4, 8
+
+
+def _outcode(x: float, y: float, rect: MBR) -> int:
+    code = _INSIDE
+    if x < rect.xmin:
+        code |= _LEFT
+    elif x > rect.xmax:
+        code |= _RIGHT
+    if y < rect.ymin:
+        code |= _BOTTOM
+    elif y > rect.ymax:
+        code |= _TOP
+    return code
+
+
+def segment_intersects_rect(
+    x1: float, y1: float, x2: float, y2: float, rect: MBR
+) -> bool:
+    """True when the segment intersects the axis-aligned window ``rect``.
+
+    Cohen-Sutherland style: trivially accept when an endpoint is inside,
+    trivially reject when both endpoints share an outside half-plane, and
+    otherwise test the segment against the (up to four) window edges.  This is
+    the range-query refinement predicate, and its FP-operation count is what
+    :attr:`repro.constants.CostModel.fp_per_range_refine` prices.
+    """
+    code1 = _outcode(x1, y1, rect)
+    code2 = _outcode(x2, y2, rect)
+    if code1 == _INSIDE or code2 == _INSIDE:
+        return True
+    if code1 & code2:
+        return False
+    # Non-trivial: test against window edges.
+    corners: Tuple[Tuple[float, float, float, float], ...] = (
+        (rect.xmin, rect.ymin, rect.xmax, rect.ymin),  # bottom
+        (rect.xmax, rect.ymin, rect.xmax, rect.ymax),  # right
+        (rect.xmax, rect.ymax, rect.xmin, rect.ymax),  # top
+        (rect.xmin, rect.ymax, rect.xmin, rect.ymin),  # left
+    )
+    for ex1, ey1, ex2, ey2 in corners:
+        if segments_intersect(x1, y1, x2, y2, ex1, ey1, ex2, ey2):
+            return True
+    return False

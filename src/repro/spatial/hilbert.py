@@ -1,0 +1,143 @@
+"""Hilbert space-filling curve encoding for two-dimensional points.
+
+Kamel and Faloutsos's packed R-tree sorts the data items by the Hilbert value
+of their MBR centers before bulk-loading the tree bottom-up; the curve's
+locality (points close on the curve are close in space) is what gives the
+packed tree its tight, low-overlap leaf MBRs.
+
+This module provides:
+
+* :func:`xy_to_d` / :func:`d_to_xy` — the classic iterative quadrant-rotation
+  bijection between grid coordinates ``(x, y)`` on a ``2**order``-sized grid
+  and the curve index ``d`` (scalar, exact integers).
+* :func:`hilbert_sort_keys` — vectorized NumPy encoding of float coordinates
+  (normalized into the dataset extent) used for sorting large datasets; this
+  is the hot path of the bulk load, so it is fully vectorized per the HPC
+  guides (no Python loop over points — only over the ``order`` bit levels).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.spatial.mbr import MBR
+
+__all__ = [
+    "DEFAULT_ORDER",
+    "xy_to_d",
+    "d_to_xy",
+    "hilbert_sort_keys",
+]
+
+#: Default curve order: a 2^16 x 2^16 grid gives sub-meter resolution on a
+#: county-scale extent, far below street-segment length, so ties are rare.
+DEFAULT_ORDER = 16
+
+
+def xy_to_d(order: int, x: int, y: int) -> int:
+    """Hilbert index of grid cell ``(x, y)`` on a ``2**order`` grid.
+
+    Raises :class:`ValueError` when the coordinates fall outside the grid —
+    an out-of-range coordinate silently wraps in many published snippets and
+    destroys the locality property.
+
+    Note the flip in the quadrant rotation uses the *full* grid size ``n``:
+    because ``n`` is a power of two, ``n - 1 - x`` complements every bit of
+    ``x`` below ``n``, which is what the recurrence needs even though only
+    bits below the current level remain relevant.
+    """
+    n = 1 << order
+    if not (0 <= x < n and 0 <= y < n):
+        raise ValueError(f"({x}, {y}) outside the {n}x{n} Hilbert grid")
+    d = 0
+    s = n >> 1
+    while s > 0:
+        rx = 1 if (x & s) > 0 else 0
+        ry = 1 if (y & s) > 0 else 0
+        d += s * s * ((3 * rx) ^ ry)
+        if ry == 0:
+            if rx == 1:
+                x = n - 1 - x
+                y = n - 1 - y
+            x, y = y, x
+        s >>= 1
+    return d
+
+
+def d_to_xy(order: int, d: int) -> tuple[int, int]:
+    """Grid cell ``(x, y)`` of Hilbert index ``d`` (inverse of :func:`xy_to_d`).
+
+    Builds the coordinates from the least-significant quadrant upward; at each
+    level the partial coordinates are below ``s``, so the flip here uses the
+    sub-square size ``s`` rather than the full grid.
+    """
+    n = 1 << order
+    if not (0 <= d < n * n):
+        raise ValueError(f"Hilbert index {d} outside the order-{order} curve")
+    x = y = 0
+    t = d
+    s = 1
+    while s < n:
+        rx = 1 & (t // 2)
+        ry = 1 & (t ^ rx)
+        if ry == 0:
+            if rx == 1:
+                x = s - 1 - x
+                y = s - 1 - y
+            x, y = y, x
+        x += s * rx
+        y += s * ry
+        t //= 4
+        s <<= 1
+    return x, y
+
+
+def hilbert_sort_keys(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    extent: MBR,
+    order: int = DEFAULT_ORDER,
+) -> np.ndarray:
+    """Hilbert indices for float points, vectorized over the whole array.
+
+    ``xs``/``ys`` are mapped onto the ``2**order`` grid spanning ``extent``
+    (points on the max edge land in the last cell), then encoded with the same
+    quadrant-rotation recurrence as :func:`xy_to_d`, but with the loop running
+    over the ``order`` bit levels and NumPy doing the per-point work.  Output
+    dtype is ``uint64``, exact for ``order <= 31``.
+
+    Agreement with the scalar :func:`xy_to_d` is property-tested.
+    """
+    if order <= 0 or order > 31:
+        raise ValueError(f"order must be in [1, 31], got {order}")
+    if extent.width <= 0 or extent.height <= 0:
+        raise ValueError("extent must have positive area for Hilbert scaling")
+    n = np.uint64(1) << np.uint64(order)
+    nf = float(1 << order)
+    gx = np.clip((np.asarray(xs, dtype=np.float64) - extent.xmin)
+                 / extent.width * nf, 0, nf - 1).astype(np.uint64)
+    gy = np.clip((np.asarray(ys, dtype=np.float64) - extent.ymin)
+                 / extent.height * nf, 0, nf - 1).astype(np.uint64)
+
+    d = np.zeros(gx.shape, dtype=np.uint64)
+    x = gx
+    y = gy
+    one = np.uint64(1)
+    zero = np.uint64(0)
+    s = n >> one
+    while s > 0:
+        rx = np.where((x & s) > 0, one, zero)
+        ry = np.where((y & s) > 0, one, zero)
+        d += s * s * ((np.uint64(3) * rx) ^ ry)
+        # Quadrant rotation, vectorized: flip over the full grid (bitwise
+        # complement below n) where rx == 1 and ry == 0, then swap where
+        # ry == 0 — mirroring the scalar xy_to_d exactly.
+        swap = ry == zero
+        flip = swap & (rx == one)
+        x_f = np.where(flip, n - one - x, x)
+        y_f = np.where(flip, n - one - y, y)
+        x_new = np.where(swap, y_f, x_f)
+        y_new = np.where(swap, x_f, y_f)
+        x, y = x_new, y_new
+        s >>= one
+    return d

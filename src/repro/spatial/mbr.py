@@ -1,0 +1,204 @@
+"""Minimum bounding rectangles (MBRs) for two-dimensional spatial data.
+
+The MBR is the workhorse of the filtering step: every index node of the packed
+R-tree covers a rectangular region represented by the MBR of its subtree, and
+filtering tests query predicates against these rectangles before any exact
+geometry is evaluated.
+
+:class:`MBR` is an immutable value type with the algebra the R-tree and the
+nearest-neighbor search need: intersection and containment predicates,
+union/expansion, area/margin, and the ``MINDIST`` lower bound of Roussopoulos
+et al. used to order and prune the branch-and-bound NN search.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Tuple
+
+__all__ = ["MBR"]
+
+
+@dataclass(frozen=True, slots=True)
+class MBR:
+    """An axis-aligned rectangle ``[xmin, xmax] x [ymin, ymax]``.
+
+    Degenerate rectangles (zero width and/or height) are legal — a point or a
+    horizontal/vertical segment has a degenerate MBR.  Construction validates
+    ordering so that malformed rectangles fail fast rather than silently
+    returning empty query answers.
+    """
+
+    xmin: float
+    ymin: float
+    xmax: float
+    ymax: float
+
+    def __post_init__(self) -> None:
+        if not (self.xmin <= self.xmax and self.ymin <= self.ymax):
+            raise ValueError(
+                f"malformed MBR: ({self.xmin}, {self.ymin}, {self.xmax}, {self.ymax})"
+            )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_point(cls, x: float, y: float) -> "MBR":
+        """The degenerate MBR of a single point."""
+        return cls(x, y, x, y)
+
+    @classmethod
+    def from_segment(cls, x1: float, y1: float, x2: float, y2: float) -> "MBR":
+        """The MBR of a line segment given by its two endpoints."""
+        return cls(min(x1, x2), min(y1, y2), max(x1, x2), max(y1, y2))
+
+    @classmethod
+    def union_of(cls, boxes: Iterable["MBR"]) -> "MBR":
+        """The smallest MBR covering every box in ``boxes``.
+
+        Raises :class:`ValueError` on an empty iterable — there is no identity
+        rectangle, and silently producing one hides bulk-load bugs.
+        """
+        it = iter(boxes)
+        try:
+            first = next(it)
+        except StopIteration:
+            raise ValueError("union_of() requires at least one MBR") from None
+        xmin, ymin, xmax, ymax = first.xmin, first.ymin, first.xmax, first.ymax
+        for b in it:
+            if b.xmin < xmin:
+                xmin = b.xmin
+            if b.ymin < ymin:
+                ymin = b.ymin
+            if b.xmax > xmax:
+                xmax = b.xmax
+            if b.ymax > ymax:
+                ymax = b.ymax
+        return cls(xmin, ymin, xmax, ymax)
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+    def intersects(self, other: "MBR") -> bool:
+        """True when the two rectangles share at least a boundary point."""
+        return (
+            self.xmin <= other.xmax
+            and other.xmin <= self.xmax
+            and self.ymin <= other.ymax
+            and other.ymin <= self.ymax
+        )
+
+    def contains_point(self, x: float, y: float) -> bool:
+        """True when ``(x, y)`` lies inside or on the boundary."""
+        return self.xmin <= x <= self.xmax and self.ymin <= y <= self.ymax
+
+    def contains(self, other: "MBR") -> bool:
+        """True when ``other`` lies entirely within this rectangle."""
+        return (
+            self.xmin <= other.xmin
+            and self.ymin <= other.ymin
+            and other.xmax <= self.xmax
+            and other.ymax <= self.ymax
+        )
+
+    # ------------------------------------------------------------------
+    # Measures
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> float:
+        """Horizontal extent."""
+        return self.xmax - self.xmin
+
+    @property
+    def height(self) -> float:
+        """Vertical extent."""
+        return self.ymax - self.ymin
+
+    def area(self) -> float:
+        """Rectangle area (zero for degenerate rectangles)."""
+        return self.width * self.height
+
+    def margin(self) -> float:
+        """Half-perimeter (the R*-tree 'margin' measure)."""
+        return self.width + self.height
+
+    def center(self) -> Tuple[float, float]:
+        """The rectangle's center point."""
+        return ((self.xmin + self.xmax) / 2.0, (self.ymin + self.ymax) / 2.0)
+
+    def union(self, other: "MBR") -> "MBR":
+        """The smallest rectangle covering both operands."""
+        return MBR(
+            min(self.xmin, other.xmin),
+            min(self.ymin, other.ymin),
+            max(self.xmax, other.xmax),
+            max(self.ymax, other.ymax),
+        )
+
+    def intersection_area(self, other: "MBR") -> float:
+        """Area of overlap with ``other`` (zero when disjoint)."""
+        w = min(self.xmax, other.xmax) - max(self.xmin, other.xmin)
+        h = min(self.ymax, other.ymax) - max(self.ymin, other.ymin)
+        if w <= 0.0 or h <= 0.0:
+            return 0.0
+        return w * h
+
+    def expand(self, amount: float) -> "MBR":
+        """A copy grown by ``amount`` on every side (``amount`` >= 0)."""
+        if amount < 0:
+            raise ValueError(f"expand amount must be non-negative, got {amount!r}")
+        return MBR(
+            self.xmin - amount,
+            self.ymin - amount,
+            self.xmax + amount,
+            self.ymax + amount,
+        )
+
+    # ------------------------------------------------------------------
+    # Distances (nearest-neighbor support)
+    # ------------------------------------------------------------------
+    def mindist_sq(self, x: float, y: float) -> float:
+        """Squared MINDIST: least squared distance from ``(x, y)`` to this box.
+
+        Zero when the point is inside the rectangle.  This is the classic
+        lower bound used to order and prune the branch-and-bound NN search:
+        no object inside the box can be closer than ``sqrt(mindist_sq)``.
+        """
+        dx = 0.0
+        if x < self.xmin:
+            dx = self.xmin - x
+        elif x > self.xmax:
+            dx = x - self.xmax
+        dy = 0.0
+        if y < self.ymin:
+            dy = self.ymin - y
+        elif y > self.ymax:
+            dy = y - self.ymax
+        return dx * dx + dy * dy
+
+    def mindist(self, x: float, y: float) -> float:
+        """MINDIST: least distance from ``(x, y)`` to this rectangle."""
+        return math.sqrt(self.mindist_sq(x, y))
+
+    def maxdist_sq(self, x: float, y: float) -> float:
+        """Squared distance from ``(x, y)`` to the farthest rectangle corner.
+
+        An upper bound on the distance to any object contained in the box;
+        useful for pruning heuristics and tested as an invariant against
+        :meth:`mindist_sq`.
+        """
+        dx = max(abs(x - self.xmin), abs(x - self.xmax))
+        dy = max(abs(y - self.ymin), abs(y - self.ymax))
+        return dx * dx + dy * dy
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+    def as_tuple(self) -> Tuple[float, float, float, float]:
+        """``(xmin, ymin, xmax, ymax)``."""
+        return (self.xmin, self.ymin, self.xmax, self.ymax)
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self.as_tuple())

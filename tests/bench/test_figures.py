@@ -1,0 +1,61 @@
+"""Figure generators run end-to-end at small scale."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import figures
+from repro.constants import BANDWIDTHS_MBPS
+from repro.core.executor import Environment
+
+
+@pytest.fixture()
+def small_env(pa_small, pa_small_tree):
+    return Environment.create(pa_small, tree=pa_small_tree)
+
+
+class TestSweepGenerators:
+    def test_fig4_structure(self, small_env):
+        sweep = figures.fig4_point_queries(small_env, n_runs=5)
+        assert len(sweep) == len(figures.POINT_NN_CONFIGS)
+        for cells in sweep.values():
+            assert [c.bandwidth_mbps for c in cells] == list(BANDWIDTHS_MBPS)
+
+    def test_fig5_covers_all_configs(self, small_env):
+        from repro.core.schemes import ADEQUATE_MEMORY_CONFIGS
+
+        sweep = figures.fig5_range_queries(small_env, n_runs=5)
+        assert set(sweep) == {c.label for c in ADEQUATE_MEMORY_CONFIGS}
+
+    def test_fig6_two_schemes_only(self, small_env):
+        sweep = figures.fig6_nn_queries(small_env, n_runs=5)
+        assert len(sweep) == 2
+
+    def test_fig8_uses_faster_clock(self, pa_small):
+        sweep = figures.fig8_client_speed(pa_small, n_runs=3, clock_ratio=0.5)
+        assert len(sweep) == 6
+
+    def test_fig9_changes_distance_only_energy(self, small_env):
+        from repro.core.schemes import Scheme, SchemeConfig
+
+        near = figures.fig9_distance(small_env, n_runs=5, distance_m=100.0)
+        far = figures.fig5_range_queries(small_env, n_runs=5)
+        label = SchemeConfig(Scheme.FULLY_SERVER, data_at_client=True).label
+        assert (
+            near[label][0].result.energy.nic_tx
+            < far[label][0].result.energy.nic_tx
+        )
+        assert near[label][0].cycles == pytest.approx(far[label][0].cycles)
+
+
+class TestFig10Generator:
+    def test_rows_cover_grid(self, small_env):
+        rows = figures.fig10_insufficient_memory(
+            small_env, buffers=(64 * 1024,), proximities=(0, 5),
+        )
+        assert len(rows) == 2
+        assert {r.y for r in rows} == {0, 5}
+        for r in rows:
+            assert r.client_energy_j > 0
+            assert r.server_energy_j > 0
+            assert r.local_hits + r.misses == r.y + 1

@@ -1,0 +1,82 @@
+"""Shared fixtures: scaled-down datasets, trees and environments.
+
+Unit and property tests run on ~2% scale synthetic datasets (a few thousand
+segments) so the whole suite stays fast; the integration *shape* tests in
+``tests/integration`` build the full-scale datasets once per session because
+the paper's crossover bandwidths only emerge at full cardinality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.executor import Environment
+from repro.data import tiger
+from repro.data.model import SegmentDataset
+from repro.spatial.rtree import PackedRTree
+
+
+@pytest.fixture(scope="session")
+def pa_small() -> SegmentDataset:
+    """A ~2800-segment PA-like dataset."""
+    return tiger.pa_dataset(scale=0.02, seed=1)
+
+
+@pytest.fixture(scope="session")
+def nyc_small() -> SegmentDataset:
+    """A ~780-segment NYC-like dataset."""
+    return tiger.nyc_dataset(scale=0.02, seed=2)
+
+
+@pytest.fixture(scope="session")
+def pa_small_tree(pa_small) -> PackedRTree:
+    """Packed R-tree over the small PA dataset."""
+    return PackedRTree.build(pa_small)
+
+
+@pytest.fixture()
+def env_small(pa_small, pa_small_tree) -> Environment:
+    """A fresh environment per test (CPU cache state is per-test)."""
+    return Environment.create(pa_small, tree=pa_small_tree)
+
+
+@pytest.fixture(scope="session")
+def pa_full() -> SegmentDataset:
+    """The full 139 006-segment PA dataset (integration tests only)."""
+    return tiger.pa_dataset(scale=1.0, seed=1)
+
+
+@pytest.fixture(scope="session")
+def nyc_full() -> SegmentDataset:
+    """The full 38 778-segment NYC dataset (integration tests only)."""
+    return tiger.nyc_dataset(scale=1.0, seed=2)
+
+
+@pytest.fixture(scope="session")
+def pa_full_env(pa_full) -> Environment:
+    """Environment over the full PA dataset, shared across shape tests.
+
+    Shape tests must call ``reset_caches()`` before planning workloads.
+    """
+    return Environment.create(pa_full)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A deterministic per-test RNG."""
+    return np.random.default_rng(12345)
+
+
+def make_segments(
+    rng: np.random.Generator, n: int, extent=(0.0, 0.0, 1000.0, 1000.0)
+) -> SegmentDataset:
+    """Random short segments inside ``extent`` (test helper)."""
+    xmin, ymin, xmax, ymax = extent
+    cx = rng.uniform(xmin, xmax, n)
+    cy = rng.uniform(ymin, ymax, n)
+    dx = rng.normal(0, (xmax - xmin) * 0.01, n)
+    dy = rng.normal(0, (ymax - ymin) * 0.01, n)
+    return SegmentDataset(
+        name="random", x1=cx - dx, y1=cy - dy, x2=cx + dx, y2=cy + dy
+    )

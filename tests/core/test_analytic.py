@@ -1,0 +1,118 @@
+"""The section-4.1 closed-form model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constants import DEFAULT_CLIENT
+from repro.core.analytic import PartitionParams, Verdict, evaluate, explain
+
+
+def _params(**over):
+    base = dict(
+        bandwidth_bps=2e6,
+        c_fully_local=5e6,
+        c_local=1e6,
+        c_protocol=5e4,
+        c_w2=1e5,
+        packet_tx_bits=8 * 2000,
+        packet_rx_bits=8 * 6000,
+    )
+    base.update(over)
+    return PartitionParams(**base)
+
+
+class TestFormulas:
+    def test_tx_rx_wait_cycles(self):
+        p = _params()
+        terms = explain(p)
+        mhz_c = DEFAULT_CLIENT.clock_hz
+        assert terms["C_Tx"] == pytest.approx(p.packet_tx_bits / 2e6 * mhz_c)
+        assert terms["C_Rx"] == pytest.approx(p.packet_rx_bits / 2e6 * mhz_c)
+        assert terms["C_wait"] == pytest.approx(p.c_w2 / 1e9 * mhz_c)
+
+    def test_partitioned_cycles_composition(self):
+        p = _params()
+        t = explain(p)
+        assert t["partitioned_cycles"] == pytest.approx(
+            t["C_Tx"] + t["C_Rx"] + t["C_wait"] + p.c_local + p.c_protocol
+        )
+
+    def test_local_energy_uses_client_plus_sleep(self):
+        p = _params()
+        v = evaluate(p)
+        expected = (
+            DEFAULT_CLIENT.nominal_power_w + p.nic.sleep_w
+        ) * p.c_fully_local / DEFAULT_CLIENT.clock_hz
+        assert v.local_energy_j == pytest.approx(expected)
+
+
+class TestVerdictDirections:
+    def test_tiny_offload_huge_local_work_wins_both(self):
+        # Enormous local computation, tiny messages: partitioning must win.
+        p = _params(c_fully_local=5e9, packet_tx_bits=800, packet_rx_bits=800,
+                    c_local=0, c_protocol=1e4)
+        v = evaluate(p)
+        assert v.wins_performance and v.wins_energy
+
+    def test_huge_messages_tiny_work_loses_both(self):
+        # Point-query regime: almost no local work, message costs dominate.
+        p = _params(c_fully_local=1e4, c_local=0)
+        v = evaluate(p)
+        assert not v.wins_performance and not v.wins_energy
+
+    def test_bandwidth_flips_the_verdict(self):
+        """There is a crossover bandwidth (the figures' central phenomenon)."""
+        base = dict(
+            c_fully_local=4e6, c_local=2e5, c_protocol=5e4, c_w2=1e5,
+            packet_tx_bits=8 * 330, packet_rx_bits=8 * 7000,
+        )
+        slow = evaluate(PartitionParams(bandwidth_bps=0.2e6, **base))
+        fast = evaluate(PartitionParams(bandwidth_bps=50e6, **base))
+        assert not slow.wins_performance
+        assert fast.wins_performance
+
+    def test_energy_crossover_needs_more_bandwidth_than_performance(self):
+        """The paper's recurring observation: communication is relatively
+        more expensive in energy than in time, so the energy win arrives at
+        a higher bandwidth.  Scanning bandwidths, the first winning
+        bandwidth for energy must be >= the first for performance."""
+        base = dict(
+            c_fully_local=4e6, c_local=2e5, c_protocol=5e4, c_w2=1e5,
+            packet_tx_bits=8 * 330, packet_rx_bits=8 * 7000,
+        )
+        first_perf = first_energy = None
+        for bw in [0.1e6 * (1.3 ** k) for k in range(40)]:
+            v = evaluate(PartitionParams(bandwidth_bps=bw, **base))
+            if first_perf is None and v.wins_performance:
+                first_perf = bw
+            if first_energy is None and v.wins_energy:
+                first_energy = bw
+        assert first_perf is not None and first_energy is not None
+        assert first_energy >= first_perf
+
+    def test_shorter_distance_helps_energy_only(self):
+        p_far = _params(distance_m=1000.0)
+        p_near = _params(distance_m=100.0)
+        v_far, v_near = evaluate(p_far), evaluate(p_near)
+        assert v_near.partitioned_energy_j < v_far.partitioned_energy_j
+        assert v_near.partitioned_cycles == pytest.approx(v_far.partitioned_cycles)
+
+    def test_faster_server_reduces_wait(self):
+        slow = evaluate(_params(server_clock_hz=5e8, c_w2=1e8))
+        fast = evaluate(_params(server_clock_hz=4e9, c_w2=1e8))
+        assert fast.partitioned_cycles < slow.partitioned_cycles
+
+
+class TestValidation:
+    def test_nonpositive_bandwidth_raises(self):
+        with pytest.raises(ValueError):
+            _params(bandwidth_bps=0)
+
+    def test_negative_cycles_raise(self):
+        with pytest.raises(ValueError):
+            _params(c_local=-1)
+
+    def test_explain_contains_verdicts(self):
+        t = explain(_params())
+        assert {"wins_performance", "wins_energy"} <= set(t)

@@ -1,0 +1,183 @@
+"""Broadcast dissemination (extension; paper reference [15])."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.broadcast import BroadcastClient, BroadcastSchedule
+from repro.core.executor import Policy, RecvStep, SendStep, WaitStep, price_plan
+from repro.core.queries import NNQuery
+from repro.data.workloads import point_queries, range_queries
+from repro.spatial import bruteforce as bf
+
+
+@pytest.fixture(scope="module")
+def schedule(pa_small, pa_small_tree):
+    from repro.core.executor import Environment
+
+    env = Environment.create(pa_small, tree=pa_small_tree)
+    return BroadcastSchedule(env, n_chunks=8)
+
+
+class TestSchedule:
+    def test_chunks_partition_entries(self, schedule, pa_small):
+        covered = []
+        prev_hi = 0
+        for ch in schedule.chunks:
+            assert ch.entry_lo == prev_hi
+            prev_hi = ch.entry_hi
+            covered.append(ch.entry_hi - ch.entry_lo)
+        assert prev_hi == pa_small.size
+        assert sum(covered) == pa_small.size
+
+    def test_offsets_monotone_and_cycle_consistent(self, schedule):
+        offsets = [ch.offset_s for ch in schedule.chunks]
+        assert offsets == sorted(offsets)
+        assert offsets[0] == pytest.approx(schedule.index_air_seconds)
+        last = schedule.chunks[-1]
+        assert last.offset_s + last.air_seconds == pytest.approx(
+            schedule.cycle_seconds
+        )
+
+    def test_chunk_bytes_balanced(self, schedule):
+        sizes = [ch.payload_bytes for ch in schedule.chunks]
+        assert max(sizes) < 1.5 * min(sizes)
+
+    def test_invalid_chunk_counts(self, pa_small, pa_small_tree):
+        from repro.core.executor import Environment
+
+        env = Environment.create(pa_small, tree=pa_small_tree)
+        with pytest.raises(ValueError):
+            BroadcastSchedule(env, n_chunks=0)
+        with pytest.raises(ValueError):
+            BroadcastSchedule(env, n_chunks=pa_small.size + 1)
+
+    def test_chunk_range_lookup(self, schedule):
+        positions = np.asarray([0, 1, 2])
+        assert schedule.chunk_range_for_entries(positions) == (0, 0)
+        last = len(schedule.env.tree.entry_ids) - 1
+        c_lo, c_hi = schedule.chunk_range_for_entries(np.asarray([0, last]))
+        assert (c_lo, c_hi) == (0, len(schedule.chunks) - 1)
+
+
+class TestBroadcastAnswers:
+    @pytest.mark.parametrize("air_index", [True, False])
+    def test_range_answers_match_oracle(self, schedule, pa_small, air_index):
+        client = BroadcastClient(schedule, air_index=air_index)
+        for q in range_queries(pa_small, 10, seed=83):
+            plan = client.plan(q, phase_s=1.23)
+            want = np.sort(bf.range_query(pa_small, q.rect))
+            assert np.array_equal(np.sort(plan.answer_ids), want)
+
+    def test_point_answers_match_oracle(self, schedule, pa_small):
+        client = BroadcastClient(schedule)
+        for q in point_queries(pa_small, 10, seed=85):
+            plan = client.plan(q, phase_s=0.5)
+            want = np.sort(bf.point_query(pa_small, q.x, q.y, q.eps))
+            assert np.array_equal(np.sort(plan.answer_ids), want)
+
+    def test_nn_rejected(self, schedule):
+        with pytest.raises(ValueError):
+            BroadcastClient(schedule).plan(NNQuery(0, 0))
+
+
+class TestBroadcastEconomics:
+    def test_never_transmits(self, schedule, pa_small):
+        client = BroadcastClient(schedule)
+        for q in range_queries(pa_small, 5, seed=87):
+            plan = client.plan(q, phase_s=2.0)
+            assert not any(isinstance(s, SendStep) for s in plan.steps)
+            r = price_plan(plan, schedule.env, Policy())
+            assert r.energy.nic_tx == 0.0
+
+    def test_air_index_sleeps_while_no_index_idles(self, schedule, pa_small):
+        q = range_queries(pa_small, 1, seed=89)[0]
+        with_index = BroadcastClient(schedule, air_index=True).plan(q, 0.7)
+        without = BroadcastClient(schedule, air_index=False).plan(q, 0.7)
+        w_idx = [s for s in with_index.steps if isinstance(s, WaitStep)]
+        w_no = [s for s in without.steps if isinstance(s, WaitStep)]
+        assert all(not s.radio_listening for s in w_idx)
+        assert all(s.radio_listening for s in w_no)
+
+    def test_air_index_saves_idle_energy(self, schedule, pa_small):
+        """Same query, same phase: the index-directed client's wait energy
+        is the sleep rate, the listener's the idle rate."""
+        q = range_queries(pa_small, 1, seed=89)[0]
+        policy = Policy()
+        e_idx = price_plan(
+            BroadcastClient(schedule, air_index=True).plan(q, 0.7),
+            schedule.env,
+            policy,
+        ).energy
+        e_no = price_plan(
+            BroadcastClient(schedule, air_index=False).plan(q, 0.7),
+            schedule.env,
+            policy,
+        ).energy
+        # The listener pays idle power over its whole wait; the index user
+        # pays sleep power plus a small index reception.
+        assert e_idx.nic_idle < e_no.nic_idle
+        assert e_idx.nic_sleep > 0
+
+    def test_wait_bounded_by_cycle(self, schedule, pa_small):
+        client = BroadcastClient(schedule, air_index=False)
+        for phase in (0.0, 0.3, 0.9):
+            q = range_queries(pa_small, 1, seed=91)[0]
+            plan = client.plan(q, phase_s=phase * schedule.cycle_seconds)
+            wait = sum(s.seconds for s in plan.steps if isinstance(s, WaitStep))
+            assert 0.0 <= wait <= schedule.cycle_seconds + 1e-9
+
+    def test_receives_whole_chunks(self, schedule, pa_small):
+        client = BroadcastClient(schedule)
+        q = range_queries(pa_small, 1, seed=93)[0]
+        plan = client.plan(q, phase_s=0.1)
+        recv = [s for s in plan.steps if isinstance(s, RecvStep)]
+        # index + chunk(s)
+        assert len(recv) == 2
+        assert recv[-1].payload.nbytes >= min(
+            ch.payload_bytes for ch in schedule.chunks
+        )
+
+    def test_workload_phases_randomized(self, schedule, pa_small):
+        client = BroadcastClient(schedule)
+        qs = range_queries(pa_small, 8, seed=95)
+        plans = client.plan_workload(qs, seed=5)
+        waits = [
+            sum(s.seconds for s in p.steps if isinstance(s, WaitStep))
+            for p in plans
+        ]
+        assert len(set(round(w, 9) for w in waits)) > 4  # phases vary
+
+
+class TestChunkCaching:
+    def test_cached_session_answers_match_oracle(self, schedule, pa_small):
+        client = BroadcastClient(schedule, cache_chunks=True)
+        for q in range_queries(pa_small, 12, seed=97):
+            plan = client.plan(q, phase_s=0.4)
+            want = np.sort(bf.range_query(pa_small, q.rect))
+            assert np.array_equal(np.sort(plan.answer_ids), want)
+
+    def test_repeat_query_hits_cache(self, schedule, pa_small):
+        client = BroadcastClient(schedule, cache_chunks=True)
+        q = range_queries(pa_small, 1, seed=99)[0]
+        client.plan(q, phase_s=0.4)
+        receptions_after_first = client.receptions
+        client.plan(q, phase_s=0.4)
+        assert client.receptions == receptions_after_first
+        assert client.local_hits == 1
+
+    def test_cache_hit_never_touches_radio(self, schedule, pa_small):
+        client = BroadcastClient(schedule, cache_chunks=True)
+        q = range_queries(pa_small, 1, seed=99)[0]
+        client.plan(q, phase_s=0.4)
+        hit_plan = client.plan(q, phase_s=0.4)
+        assert not any(isinstance(s, (RecvStep, WaitStep)) for s in hit_plan.steps)
+
+    def test_no_cache_by_default(self, schedule, pa_small):
+        client = BroadcastClient(schedule)
+        q = range_queries(pa_small, 1, seed=99)[0]
+        client.plan(q, phase_s=0.4)
+        client.plan(q, phase_s=0.4)
+        assert client.receptions == 2
+        assert client.local_hits == 0

@@ -1,0 +1,65 @@
+"""CLI surface (python -m repro)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_query_kinds(self):
+        for kind in ("point", "range", "nn"):
+            args = build_parser().parse_args(["query", kind])
+            assert args.kind == kind
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["info"])
+        assert args.dataset == "PA"
+        assert args.scale == 0.1
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["--scale", "0.02", "info"]) == 0
+        out = capsys.readouterr().out
+        assert "segments" in out and "index" in out
+
+    def test_info_nyc(self, capsys):
+        assert main(["--dataset", "NYC", "--scale", "0.02", "info"]) == 0
+        assert "NYC" in capsys.readouterr().out
+
+    def test_unknown_dataset_exits(self):
+        with pytest.raises(SystemExit):
+            main(["--dataset", "MARS", "info"])
+
+    def test_taxonomy(self, capsys):
+        assert main(["taxonomy"]) == 0
+        out = capsys.readouterr().out
+        assert "Fully at the Client" in out
+        assert "Insufficient Memory" in out
+
+    @pytest.mark.parametrize("kind", ["point", "range", "nn"])
+    def test_query(self, capsys, kind):
+        assert main(["--scale", "0.02", "query", kind, "--bandwidth", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "mJ" in out and "ms" in out
+        assert "Fully at the Client" in out
+
+    def test_figure_fig4(self, capsys):
+        assert main(["--scale", "0.02", "figure", "fig4", "--runs", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Mbps" in out and "E[J]" in out
+
+    def test_figure_fig10(self, capsys):
+        assert main(["--scale", "0.02", "figure", "fig10"]) == 0
+        out = capsys.readouterr().out
+        assert "buffer" in out
+
+    def test_figure_unknown_exits(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "fig99"])

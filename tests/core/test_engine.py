@@ -1,0 +1,122 @@
+"""The filter/refine engine against the brute-force oracle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engine import QueryEngine
+from repro.core.queries import NNQuery, PointQuery, RangeQuery
+from repro.data.workloads import nn_queries, point_queries, range_queries
+from repro.sim.trace import OpCounter
+from repro.spatial import bruteforce as bf
+from repro.spatial.geometry import point_segment_distance_sq
+from repro.spatial.mbr import MBR
+from repro.spatial.rtree import PackedRTree
+
+
+@pytest.fixture(scope="module")
+def engine(pa_small, pa_small_tree):
+    return QueryEngine(pa_small, pa_small_tree)
+
+
+class TestConstruction:
+    def test_builds_tree_when_missing(self, pa_small):
+        e = QueryEngine(pa_small)
+        assert e.tree.dataset is pa_small
+
+    def test_mismatched_tree_raises(self, pa_small, nyc_small):
+        other_tree = PackedRTree.build(nyc_small)
+        with pytest.raises(ValueError):
+            QueryEngine(pa_small, other_tree)
+
+
+class TestFilterRefine:
+    def test_range_pipeline_matches_oracle(self, engine, pa_small):
+        for q in range_queries(pa_small, 15, seed=3, max_area_frac=0.01):
+            filt = engine.filter(q)
+            ref = engine.refine(q, filt.ids)
+            assert np.array_equal(
+                np.sort(ref.ids), np.sort(bf.range_query(pa_small, q.rect))
+            )
+            # Refinement can only shrink the candidate set.
+            assert set(ref.ids.tolist()) <= set(filt.ids.tolist())
+
+    def test_point_pipeline_matches_oracle(self, engine, pa_small):
+        for q in point_queries(pa_small, 15, seed=5):
+            filt = engine.filter(q)
+            ref = engine.refine(q, filt.ids)
+            want = bf.point_query(pa_small, q.x, q.y, q.eps)
+            assert np.array_equal(np.sort(ref.ids), np.sort(want))
+
+    def test_refine_counts_by_query_kind(self, engine, pa_small):
+        rq = range_queries(pa_small, 1, seed=7)[0]
+        filt = engine.filter(rq)
+        counter = OpCounter()
+        engine.refine(rq, filt.ids, counter)
+        assert counter.range_refine_tests == len(filt.ids)
+        assert counter.point_refine_tests == 0
+        assert counter.candidates_refined == len(filt.ids)
+
+    def test_refine_empty_candidates(self, engine):
+        q = RangeQuery(MBR(0, 0, 1, 1))
+        out = engine.refine(q, np.empty(0, dtype=np.int64))
+        assert len(out.ids) == 0
+
+    def test_filter_rejects_nn(self, engine):
+        with pytest.raises(TypeError):
+            engine.filter(NNQuery(0, 0))
+
+    def test_refine_rejects_nn(self, engine):
+        with pytest.raises(TypeError):
+            engine.refine(NNQuery(0, 0), np.asarray([0]))
+
+
+class TestNearest:
+    def test_matches_oracle(self, engine, pa_small):
+        for q in nn_queries(pa_small, 15, seed=9):
+            out = engine.nearest(q)
+            assert len(out.ids) == 1
+            got_d = point_segment_distance_sq(
+                q.x, q.y, *pa_small.segment(int(out.ids[0]))
+            )
+            want = bf.nearest_neighbor(pa_small, q.x, q.y)
+            want_d = point_segment_distance_sq(q.x, q.y, *pa_small.segment(want))
+            assert got_d == pytest.approx(want_d, rel=1e-12, abs=1e-12)
+
+    def test_nearest_rejects_other_kinds(self, engine):
+        with pytest.raises(TypeError):
+            engine.nearest(PointQuery(0, 0))
+
+
+class TestAnswer:
+    def test_answer_equals_filter_plus_refine(self, engine, pa_small):
+        q = range_queries(pa_small, 1, seed=11)[0]
+        combined = engine.answer(q)
+        filt = engine.filter(q)
+        ref = engine.refine(q, filt.ids)
+        assert np.array_equal(np.sort(combined.ids), np.sort(ref.ids))
+
+    def test_answer_counter_accumulates_both_phases(self, engine, pa_small):
+        q = range_queries(pa_small, 1, seed=11)[0]
+        counter = OpCounter()
+        engine.answer(q, counter)
+        assert counter.nodes_visited > 0  # filtering happened
+        assert counter.candidates_refined > 0  # refinement happened
+
+    def test_answer_dispatches_nn(self, engine, pa_small):
+        q = nn_queries(pa_small, 1, seed=13)[0]
+        out = engine.answer(q)
+        assert len(out.ids) == 1
+
+    def test_refinement_rejects_corner_grazers(self, engine, pa_small):
+        """There must exist windows where filtering over-approximates —
+        i.e. the two phases are genuinely different computations."""
+        found_rejection = False
+        for q in range_queries(pa_small, 60, seed=17, max_area_frac=0.0003):
+            filt = engine.filter(q)
+            ref = engine.refine(q, filt.ids)
+            if len(ref.ids) < len(filt.ids):
+                found_rejection = True
+                break
+        assert found_rejection

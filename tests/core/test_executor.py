@@ -1,0 +1,239 @@
+"""Executor: plans, pricing, ledger conservation, policy effects."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constants import DEFAULT_CLIENT, MBPS, MHZ
+from repro.core.executor import (
+    ClientComputeStep,
+    Environment,
+    Policy,
+    RecvStep,
+    RunResult,
+    SendStep,
+    ServerComputeStep,
+    execute,
+    plan_query,
+    price_plan,
+)
+from repro.core.queries import NNQuery, PointQuery, RangeQuery
+from repro.core.schemes import ADEQUATE_MEMORY_CONFIGS, Scheme, SchemeConfig
+from repro.data.workloads import nn_queries, point_queries, range_queries
+from repro.sim.cpu import ClientCPU
+from repro.spatial import bruteforce as bf
+
+
+@pytest.fixture()
+def range_q(pa_small):
+    return range_queries(pa_small, 1, seed=21)[0]
+
+
+FC = SchemeConfig(Scheme.FULLY_CLIENT)
+FS_ABSENT = SchemeConfig(Scheme.FULLY_SERVER, data_at_client=False)
+FS_PRESENT = SchemeConfig(Scheme.FULLY_SERVER, data_at_client=True)
+FC_RS = SchemeConfig(Scheme.FILTER_CLIENT_REFINE_SERVER, data_at_client=True)
+FS_RC = SchemeConfig(Scheme.FILTER_SERVER_REFINE_CLIENT, data_at_client=True)
+
+
+class TestPlanShapes:
+    def test_fully_client_has_no_communication(self, env_small, range_q):
+        plan = plan_query(range_q, FC, env_small)
+        assert all(isinstance(s, ClientComputeStep) for s in plan.steps)
+
+    def test_fully_server_step_sequence(self, env_small, range_q):
+        plan = plan_query(range_q, FS_ABSENT, env_small)
+        kinds = [type(s) for s in plan.steps]
+        assert kinds == [SendStep, ServerComputeStep, RecvStep, ClientComputeStep]
+
+    def test_filter_client_sends_candidates(self, env_small, range_q):
+        plan = plan_query(range_q, FC_RS, env_small)
+        send = next(s for s in plan.steps if isinstance(s, SendStep))
+        costs = env_small.dataset.costs
+        expected = costs.request_bytes + plan.n_candidates * costs.object_id_bytes
+        assert send.payload.nbytes == expected
+        assert plan.n_candidates > 0
+
+    def test_filter_server_receives_candidate_ids(self, env_small, range_q):
+        plan = plan_query(range_q, FS_RC, env_small)
+        recv = next(s for s in plan.steps if isinstance(s, RecvStep))
+        costs = env_small.dataset.costs
+        assert recv.payload.nbytes == plan.n_candidates * costs.object_id_bytes
+
+    def test_data_absent_receives_records_not_ids(self, env_small, range_q):
+        absent = plan_query(range_q, FS_ABSENT, env_small)
+        env_small.reset_caches()
+        present = plan_query(range_q, FS_PRESENT, env_small)
+        r_absent = next(s for s in absent.steps if isinstance(s, RecvStep))
+        r_present = next(s for s in present.steps if isinstance(s, RecvStep))
+        assert r_absent.payload.nbytes > r_present.payload.nbytes
+
+    def test_nn_fully_server(self, env_small, pa_small):
+        q = nn_queries(pa_small, 1, seed=23)[0]
+        plan = plan_query(q, FS_PRESENT, env_small)
+        kinds = [type(s) for s in plan.steps]
+        assert kinds == [SendStep, ServerComputeStep, RecvStep, ClientComputeStep]
+        assert plan.n_results == 1
+
+    def test_invalid_scheme_for_nn_raises(self, env_small, pa_small):
+        q = nn_queries(pa_small, 1, seed=23)[0]
+        with pytest.raises(ValueError):
+            plan_query(q, FC_RS, env_small)
+
+
+class TestAnswerCorrectness:
+    @pytest.mark.parametrize("config", ADEQUATE_MEMORY_CONFIGS, ids=lambda c: c.label)
+    def test_every_scheme_returns_oracle_answer(self, env_small, pa_small, config):
+        for q in range_queries(pa_small, 5, seed=29):
+            env_small.reset_caches()
+            plan = plan_query(q, config, env_small)
+            want = bf.range_query(pa_small, q.rect)
+            assert np.array_equal(np.sort(plan.answer_ids), np.sort(want))
+
+
+class TestPricingConservation:
+    def test_wall_time_is_sum_of_cycle_buckets(self, env_small, range_q):
+        plan = plan_query(range_q, FS_ABSENT, env_small)
+        r = price_plan(plan, env_small, Policy())
+        clock = env_small.client_cpu.clock_hz
+        # Wall time equals the cycle buckets' duration up to the sleep-exit
+        # latencies charged inside the NIC ledger.
+        slack = r.wall_seconds - r.cycles.total() / clock
+        assert slack >= -1e-12
+        assert slack < 5e-3  # a few exit latencies at most
+
+    def test_energy_buckets_all_nonnegative(self, env_small, range_q):
+        for cfg in ADEQUATE_MEMORY_CONFIGS:
+            env_small.reset_caches()
+            r = execute(range_q, cfg, env_small)
+            assert min(r.energy.as_dict().values()) >= 0.0
+            assert min(r.cycles.as_dict().values()) >= 0.0
+
+    def test_fully_client_nic_only_sleeps(self, env_small, range_q):
+        r = execute(range_q, FC, env_small)
+        assert r.energy.nic_tx == 0.0
+        assert r.energy.nic_rx == 0.0
+        assert r.energy.nic_idle == 0.0
+        assert r.energy.nic_sleep > 0.0
+        assert r.cycles.nic_tx == 0.0 and r.cycles.wait == 0.0
+
+    def test_message_log(self, env_small, range_q):
+        r = execute(range_q, FS_ABSENT, env_small)
+        directions = [d for d, _ in r.messages]
+        assert directions == ["tx", "rx"]
+
+
+class TestPolicyEffects:
+    def test_bandwidth_scales_transfer(self, env_small, range_q):
+        plan = plan_query(range_q, FS_ABSENT, env_small)
+        slow = price_plan(plan, env_small, Policy().with_bandwidth(2 * MBPS))
+        fast = price_plan(plan, env_small, Policy().with_bandwidth(8 * MBPS))
+        assert slow.cycles.nic_rx == pytest.approx(4 * fast.cycles.nic_rx, rel=1e-6)
+        assert slow.energy.nic_rx == pytest.approx(4 * fast.energy.nic_rx, rel=1e-6)
+
+    def test_distance_scales_tx_energy_only(self, env_small, range_q):
+        plan = plan_query(range_q, FS_ABSENT, env_small)
+        near = price_plan(plan, env_small, Policy().with_distance(100.0))
+        far = price_plan(plan, env_small, Policy().with_distance(1000.0))
+        assert far.energy.nic_tx == pytest.approx(
+            near.energy.nic_tx * 3.0891 / 1.0891, rel=1e-6
+        )
+        assert far.energy.nic_rx == pytest.approx(near.energy.nic_rx, rel=1e-9)
+        assert far.cycles.total() == pytest.approx(near.cycles.total(), rel=1e-9)
+
+    def test_busy_wait_costs_more_energy_same_cycles(self, env_small, range_q):
+        plan = plan_query(range_q, FS_ABSENT, env_small)
+        block = price_plan(plan, env_small, Policy(busy_wait=False))
+        spin = price_plan(plan, env_small, Policy(busy_wait=True))
+        assert spin.energy.processor > block.energy.processor
+        assert spin.cycles.total() == pytest.approx(block.cycles.total())
+
+    def test_cpu_lowpower_saves_energy(self, env_small, range_q):
+        plan = plan_query(range_q, FS_ABSENT, env_small)
+        lp = price_plan(plan, env_small, Policy(cpu_lowpower=True))
+        full = price_plan(plan, env_small, Policy(cpu_lowpower=False))
+        assert lp.energy.processor < full.energy.processor
+
+    def test_nic_sleep_saves_energy_in_quiet_periods(self, env_small, range_q):
+        plan = plan_query(range_q, FC, env_small)
+        asleep = price_plan(plan, env_small, Policy(nic_sleep=True))
+        awake = price_plan(plan, env_small, Policy(nic_sleep=False))
+        assert asleep.energy.total() < awake.energy.total()
+        assert awake.energy.nic_idle > 0 and awake.energy.nic_sleep == 0
+
+    def test_faster_client_same_compute_cycles_less_time(self, pa_small, range_q):
+        slow_env = Environment.create(
+            pa_small, client_cpu=ClientCPU(config=DEFAULT_CLIENT.with_clock(125 * MHZ))
+        )
+        fast_env = Environment.create(
+            pa_small, client_cpu=ClientCPU(config=DEFAULT_CLIENT.with_clock(500 * MHZ))
+        )
+        rs = execute(range_q, FC, slow_env)
+        rf = execute(range_q, FC, fast_env)
+        assert rs.cycles.processor == pytest.approx(rf.cycles.processor)
+        assert rf.wall_seconds == pytest.approx(rs.wall_seconds / 4, rel=1e-6)
+
+
+class TestRunResultCombine:
+    def test_combine_sums(self, env_small, pa_small):
+        qs = range_queries(pa_small, 4, seed=31)
+        results = [execute(q, FS_PRESENT, env_small) for q in qs]
+        combined = RunResult.combine(results)
+        assert combined.energy.total() == pytest.approx(
+            sum(r.energy.total() for r in results)
+        )
+        assert combined.cycles.total() == pytest.approx(
+            sum(r.cycles.total() for r in results)
+        )
+        assert combined.n_results == sum(r.n_results for r in results)
+        assert len(combined.messages) == sum(len(r.messages) for r in results)
+
+    def test_combine_empty_raises(self):
+        with pytest.raises(ValueError):
+            RunResult.combine([])
+
+
+class TestWaitStep:
+    def _plan_with_wait(self, env, listening):
+        from repro.core.executor import QueryPlan, WaitStep
+        import numpy as np
+
+        return QueryPlan(
+            query=None,
+            config=FC,
+            steps=[WaitStep(0.5, radio_listening=listening)],
+            answer_ids=np.empty(0, dtype=np.int64),
+            n_candidates=0,
+            n_results=0,
+        )
+
+    def test_listening_wait_idles_the_radio(self, env_small):
+        from repro.core.executor import price_plan
+
+        r = price_plan(self._plan_with_wait(env_small, True), env_small, Policy())
+        # 0.5 s of idle plus the 470 us sleep-exit latency (also at idle power).
+        assert r.energy.nic_idle == pytest.approx(
+            0.100 * (0.5 + 470e-6), rel=1e-6
+        )
+        assert r.cycles.wait == pytest.approx(0.5 * env_small.client_cpu.clock_hz)
+
+    def test_sleeping_wait_sleeps_the_radio(self, env_small):
+        from repro.core.executor import price_plan
+
+        r = price_plan(self._plan_with_wait(env_small, False), env_small, Policy())
+        assert r.energy.nic_sleep == pytest.approx(0.5 * 0.0198, rel=1e-6)
+        assert r.energy.nic_idle == 0.0
+
+    def test_cpu_blocked_during_wait(self, env_small):
+        from repro.core.executor import price_plan
+
+        lp = price_plan(
+            self._plan_with_wait(env_small, True), env_small,
+            Policy(cpu_lowpower=True),
+        )
+        full = price_plan(
+            self._plan_with_wait(env_small, True), env_small,
+            Policy(cpu_lowpower=False),
+        )
+        assert lp.energy.processor < full.energy.processor

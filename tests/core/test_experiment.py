@@ -1,0 +1,81 @@
+"""Sweep harness: plan-once/price-many equivalence and bookkeeping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constants import MBPS
+from repro.core.executor import Policy, execute
+from repro.core.experiment import (
+    SweepCell,
+    bandwidth_sweep,
+    plan_cached_workload,
+    plan_workload,
+    price_workload,
+)
+from repro.core.schemes import ADEQUATE_MEMORY_CONFIGS, Scheme, SchemeConfig
+from repro.data.workloads import proximity_sequence, range_queries
+
+FS = SchemeConfig(Scheme.FULLY_SERVER, data_at_client=True)
+
+
+class TestPlanPriceEquivalence:
+    def test_replan_equals_plan_once(self, env_small, pa_small):
+        """Pricing a cached plan at bandwidth B equals executing at B."""
+        qs = range_queries(pa_small, 5, seed=43)
+        plans = plan_workload(qs, FS, env_small)
+        policy = Policy().with_bandwidth(6 * MBPS)
+        swept = price_workload(plans, env_small, policy)
+        env_small.reset_caches()
+        direct = [execute(q, FS, env_small, policy) for q in qs]
+        total_e = sum(r.energy.total() for r in direct)
+        total_c = sum(r.cycles.total() for r in direct)
+        assert swept.energy.total() == pytest.approx(total_e, rel=1e-12)
+        assert swept.cycles.total() == pytest.approx(total_c, rel=1e-12)
+
+
+class TestBandwidthSweep:
+    def test_grid_shape(self, env_small, pa_small):
+        qs = range_queries(pa_small, 3, seed=47)
+        out = bandwidth_sweep(
+            qs, ADEQUATE_MEMORY_CONFIGS[:2], env_small, bandwidths_mbps=(2, 11)
+        )
+        assert len(out) == 2
+        for cells in out.values():
+            assert [c.bandwidth_mbps for c in cells] == [2, 11]
+
+    def test_fully_client_flat_in_bandwidth(self, env_small, pa_small):
+        qs = range_queries(pa_small, 3, seed=47)
+        fc = SchemeConfig(Scheme.FULLY_CLIENT)
+        cells = bandwidth_sweep(qs, [fc], env_small)[fc.label]
+        energies = {round(c.energy_j, 15) for c in cells}
+        assert len(energies) == 1
+
+    def test_communication_schemes_fall_with_bandwidth(self, env_small, pa_small):
+        qs = range_queries(pa_small, 3, seed=47)
+        cells = bandwidth_sweep(qs, [FS], env_small)[FS.label]
+        energies = [c.energy_j for c in cells]
+        cycles = [c.cycles for c in cells]
+        assert energies == sorted(energies, reverse=True)
+        assert cycles == sorted(cycles, reverse=True)
+
+    def test_cell_accessors(self, env_small, pa_small):
+        qs = range_queries(pa_small, 2, seed=47)
+        cell = bandwidth_sweep(qs, [FS], env_small)[FS.label][0]
+        assert isinstance(cell, SweepCell)
+        assert cell.energy_j == cell.result.energy.total()
+        assert cell.cycles == cell.result.cycles.total()
+        assert cell.distance_m == 1000.0
+
+
+class TestCachedWorkloadPlanning:
+    def test_session_statistics_returned(self, env_small, pa_small):
+        qs = proximity_sequence(pa_small, y=4, n_groups=2, seed=49)
+        plans, session = plan_cached_workload(qs, env_small, 256 * 1024)
+        assert len(plans) == len(qs)
+        assert session.misses >= 1
+        # Every query is either a local hit or a miss (fallbacks are a
+        # sub-category of misses).
+        assert session.local_hits + session.misses == len(qs)
+        assert session.fallbacks <= session.misses

@@ -1,0 +1,144 @@
+"""Freshness under server-side updates (extension; paper future work)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.executor import Policy
+from repro.core.freshness import (
+    FreshClientSession,
+    FreshnessPolicy,
+    SessionStats,
+    UpdateStream,
+)
+from repro.data.workloads import proximity_sequence
+
+BUDGET = 192 * 1024
+
+
+def _session(env, rate, policy, ttl_s=60.0, seed=53):
+    stream = UpdateStream(len(env.tree.entry_ids), rate, seed=seed)
+    return FreshClientSession(
+        env, BUDGET, stream, policy=policy, ttl_s=ttl_s
+    )
+
+
+class TestUpdateStream:
+    def test_zero_rate_never_updates(self):
+        s = UpdateStream(1000, 0.0)
+        assert s.updates_in(0.0, 1e6, 0, 1000) == 0
+
+    def test_counts_grow_with_window(self):
+        s = UpdateStream(1000, 5.0, seed=1)
+        a = s.updates_in(0.0, 10.0, 0, 1000)
+        b = s.updates_in(0.0, 100.0, 0, 1000)
+        assert 0 < a < b
+
+    def test_rate_roughly_respected(self):
+        s = UpdateStream(1000, 50.0, seed=2)
+        n = s.updates_in(0.0, 100.0, 0, 1000)
+        assert 3500 < n < 6500  # 5000 expected
+
+    def test_range_restriction(self):
+        s = UpdateStream(1000, 50.0, seed=3)
+        full = s.updates_in(0.0, 50.0, 0, 1000)
+        half = s.updates_in(0.0, 50.0, 0, 500)
+        assert 0 < half < full
+
+    def test_deterministic(self):
+        a = UpdateStream(1000, 10.0, seed=7)
+        b = UpdateStream(1000, 10.0, seed=7)
+        assert a.updates_in(0, 20, 0, 1000) == b.updates_in(0, 20, 0, 1000)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            UpdateStream(0, 1.0)
+        with pytest.raises(ValueError):
+            UpdateStream(10, -1.0)
+        with pytest.raises(ValueError):
+            UpdateStream(10, 1.0).updates_in(5, 1, 0, 10)
+
+
+class TestPolicies:
+    @pytest.fixture()
+    def workload(self, pa_small):
+        return proximity_sequence(pa_small, y=15, n_groups=2, seed=59)
+
+    def test_none_policy_accumulates_staleness_under_churn(
+        self, env_small, workload
+    ):
+        stats = _session(env_small, rate=50.0, policy=FreshnessPolicy.NONE).run(
+            workload
+        )
+        assert stats.queries == len(workload)
+        assert stats.stale_answers > 0
+        assert stats.verifications == 0
+
+    def test_none_policy_fresh_without_updates(self, env_small, workload):
+        stats = _session(env_small, rate=0.0, policy=FreshnessPolicy.NONE).run(
+            workload
+        )
+        assert stats.staleness == 0.0
+
+    def test_verify_policy_never_stale(self, env_small, workload):
+        stats = _session(env_small, rate=50.0, policy=FreshnessPolicy.VERIFY).run(
+            workload
+        )
+        assert stats.stale_answers == 0
+        assert stats.verifications > 0
+
+    def test_verify_costs_more_energy_than_none(self, env_small, workload):
+        none = _session(env_small, rate=50.0, policy=FreshnessPolicy.NONE).run(
+            workload
+        )
+        env_small.reset_caches()
+        verify = _session(env_small, rate=50.0, policy=FreshnessPolicy.VERIFY).run(
+            workload
+        )
+        assert verify.energy.total() > none.energy.total()
+
+    def test_ttl_bounds_staleness_between_extremes(self, env_small, workload):
+        none = _session(env_small, rate=50.0, policy=FreshnessPolicy.NONE).run(
+            workload
+        )
+        env_small.reset_caches()
+        ttl = _session(
+            env_small, rate=50.0, policy=FreshnessPolicy.TTL, ttl_s=10.0
+        ).run(workload)
+        assert ttl.refetches > 0
+        assert ttl.staleness <= none.staleness
+
+    def test_ttl_expiry_forces_refetch(self, env_small, pa_small):
+        qs = proximity_sequence(pa_small, y=6, n_groups=1, seed=61)
+        sess = _session(
+            env_small, rate=0.0, policy=FreshnessPolicy.TTL, ttl_s=0.5
+        )
+        # think_time 2 s per query >> ttl 0.5 s: every hit has expired.
+        stats = sess.run(qs)
+        assert stats.refetches >= len(qs) - 1
+
+    def test_answers_still_exact_under_any_policy(self, env_small, pa_small):
+        """Version churn never corrupts the geometry answers themselves."""
+        from repro.spatial import bruteforce as bf
+
+        qs = proximity_sequence(pa_small, y=5, n_groups=1, seed=63)
+        sess = _session(env_small, rate=20.0, policy=FreshnessPolicy.NONE)
+        for q in qs:
+            plan = sess.run_query(q)
+            want = np.sort(bf.range_query(pa_small, q.rect))
+            assert np.array_equal(np.sort(plan.answer_ids), want)
+
+    def test_invalid_session_params(self, env_small):
+        stream = UpdateStream(100, 1.0)
+        with pytest.raises(ValueError):
+            FreshClientSession(env_small, BUDGET, stream, ttl_s=0.0)
+        with pytest.raises(ValueError):
+            FreshClientSession(env_small, BUDGET, stream, think_time_s=-1.0)
+
+
+class TestStats:
+    def test_empty_stats(self):
+        s = SessionStats()
+        assert s.queries == 0
+        assert s.staleness == 0.0

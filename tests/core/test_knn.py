@@ -1,0 +1,167 @@
+"""k-nearest-neighbor queries (the paper's 'other spatial queries' future
+work) across the whole stack: tree, engine, executor, cached client."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.clientcache import ClientCacheSession
+from repro.core.executor import plan_query
+from repro.core.queries import KNNQuery, QueryKind, RangeQuery
+from repro.core.schemes import Scheme, SchemeConfig
+from repro.spatial import bruteforce as bf
+from repro.spatial.geometry import point_segment_distance_sq
+from repro.spatial.mbr import MBR
+
+FC = SchemeConfig(Scheme.FULLY_CLIENT)
+FS_PRESENT = SchemeConfig(Scheme.FULLY_SERVER, data_at_client=True)
+FS_ABSENT = SchemeConfig(Scheme.FULLY_SERVER, data_at_client=False)
+
+
+def _dists(ds, px, py, ids):
+    return [point_segment_distance_sq(px, py, *ds.segment(int(i))) for i in ids]
+
+
+class TestQueryType:
+    def test_kind_and_phases(self):
+        q = KNNQuery(1.0, 2.0, k=7)
+        assert q.kind is QueryKind.NEAREST_NEIGHBOR
+        assert not q.kind.has_phases
+        assert q.focus() == (1.0, 2.0)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            KNNQuery(0, 0, k=0)
+
+    def test_hybrid_schemes_rejected(self):
+        q = KNNQuery(0, 0, k=3)
+        with pytest.raises(ValueError):
+            SchemeConfig(
+                Scheme.FILTER_CLIENT_REFINE_SERVER, data_at_client=True
+            ).validate_for(q)
+
+
+class TestTreeKNN:
+    @pytest.mark.parametrize("k", [1, 2, 5, 20])
+    def test_matches_oracle_distances(self, pa_small, pa_small_tree, rng, k):
+        for _ in range(10):
+            px = rng.uniform(pa_small.extent.xmin, pa_small.extent.xmax)
+            py = rng.uniform(pa_small.extent.ymin, pa_small.extent.ymax)
+            got = pa_small_tree.nearest_neighbors(px, py, k)
+            want = bf.k_nearest_neighbors(pa_small, px, py, k)
+            assert len(got) == k
+            assert np.allclose(
+                sorted(_dists(pa_small, px, py, got)),
+                sorted(_dists(pa_small, px, py, want)),
+                rtol=1e-12,
+            )
+
+    def test_ordered_nearest_first(self, pa_small, pa_small_tree):
+        c = pa_small.extent.center()
+        got = pa_small_tree.nearest_neighbors(c[0], c[1], 15)
+        d = _dists(pa_small, c[0], c[1], got)
+        assert d == sorted(d)
+
+    def test_k_larger_than_dataset(self, pa_small, pa_small_tree):
+        c = pa_small.extent.center()
+        got = pa_small_tree.nearest_neighbors(c[0], c[1], pa_small.size + 50)
+        assert len(got) == pa_small.size
+        assert len(set(got.tolist())) == pa_small.size
+
+    def test_k1_equals_nearest_neighbor(self, pa_small, pa_small_tree, rng):
+        for _ in range(10):
+            px = rng.uniform(pa_small.extent.xmin, pa_small.extent.xmax)
+            py = rng.uniform(pa_small.extent.ymin, pa_small.extent.ymax)
+            assert pa_small_tree.nearest_neighbor(px, py) == int(
+                pa_small_tree.nearest_neighbors(px, py, 1)[0]
+            )
+
+    def test_invalid_k_raises(self, pa_small_tree):
+        with pytest.raises(ValueError):
+            pa_small_tree.nearest_neighbors(0, 0, 0)
+
+
+class TestEngineAndExecutor:
+    def test_engine_nearest_dispatches_knn(self, env_small, pa_small):
+        c = pa_small.extent.center()
+        out = env_small.engine.nearest(KNNQuery(c[0], c[1], k=4))
+        assert len(out.ids) == 4
+
+    def test_answer_dispatches_knn(self, env_small, pa_small):
+        c = pa_small.extent.center()
+        out = env_small.engine.answer(KNNQuery(c[0], c[1], k=4))
+        assert len(out.ids) == 4
+
+    @pytest.mark.parametrize("config", [FC, FS_PRESENT, FS_ABSENT],
+                             ids=lambda c: c.label)
+    def test_schemes_agree(self, env_small, pa_small, config):
+        c = pa_small.extent.center()
+        q = KNNQuery(c[0], c[1], k=6)
+        env_small.reset_caches()
+        plan = plan_query(q, config, env_small)
+        want = bf.k_nearest_neighbors(pa_small, c[0], c[1], 6)
+        assert np.allclose(
+            sorted(_dists(pa_small, c[0], c[1], plan.answer_ids)),
+            sorted(_dists(pa_small, c[0], c[1], want)),
+            rtol=1e-12,
+        )
+        assert plan.n_results == 6
+
+    def test_larger_k_ships_more_bytes_when_data_absent(self, env_small, pa_small):
+        c = pa_small.extent.center()
+        small = plan_query(KNNQuery(c[0], c[1], k=1), FS_ABSENT, env_small)
+        env_small.reset_caches()
+        big = plan_query(KNNQuery(c[0], c[1], k=20), FS_ABSENT, env_small)
+        rx_small = sum(b for d, b in _payloads(small) if d == "rx")
+        rx_big = sum(b for d, b in _payloads(big) if d == "rx")
+        assert rx_big > rx_small
+
+
+def _payloads(plan):
+    from repro.core.executor import RecvStep, SendStep
+
+    out = []
+    for s in plan.steps:
+        if isinstance(s, SendStep):
+            out.append(("tx", s.payload.nbytes))
+        elif isinstance(s, RecvStep):
+            out.append(("rx", s.payload.nbytes))
+    return out
+
+
+class TestCachedClientKNN:
+    def test_knn_served_and_certified_locally(self, env_small, pa_small):
+        session = ClientCacheSession(env_small, 256 * 1024)
+        i = pa_small.size // 2
+        cx = float(pa_small.x1[i] + pa_small.x2[i]) / 2.0
+        cy = float(pa_small.y1[i] + pa_small.y2[i]) / 2.0
+        w = pa_small.extent.width * 0.01
+        session.plan(RangeQuery(MBR(cx - w, cy - w, cx + w, cy + w)))
+        plan = session.plan(KNNQuery(cx, cy, k=3))
+        assert plan.n_results == 3
+        want = bf.k_nearest_neighbors(pa_small, cx, cy, 3)
+        assert np.allclose(
+            sorted(_dists(pa_small, cx, cy, plan.answer_ids)),
+            sorted(_dists(pa_small, cx, cy, want)),
+            rtol=1e-12,
+        )
+
+    def test_huge_k_is_not_certified_locally(self, env_small, pa_small):
+        """A k bigger than the shipment can certify must go to the server."""
+        session = ClientCacheSession(env_small, 64 * 1024)
+        i = pa_small.size // 2
+        cx = float(pa_small.x1[i] + pa_small.x2[i]) / 2.0
+        cy = float(pa_small.y1[i] + pa_small.y2[i]) / 2.0
+        w = pa_small.extent.width * 0.005
+        session.plan(RangeQuery(MBR(cx - w, cy - w, cx + w, cy + w)))
+        misses_before = session.misses
+        plan = session.plan(KNNQuery(cx, cy, k=min(2000, pa_small.size)))
+        # Either it round-trips (a miss) or — with a huge shipment — it is
+        # served locally; in both cases the distances must be exact.
+        want = bf.k_nearest_neighbors(pa_small, cx, cy, min(2000, pa_small.size))
+        assert np.allclose(
+            sorted(_dists(pa_small, cx, cy, plan.answer_ids)),
+            sorted(_dists(pa_small, cx, cy, want)),
+            rtol=1e-9,
+        )

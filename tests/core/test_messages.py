@@ -1,0 +1,68 @@
+"""Message payload sizing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constants import DEFAULT_COSTS
+from repro.core.messages import (
+    Payload,
+    data_items_payload,
+    extraction_payload,
+    id_list_payload,
+    request_payload,
+    request_with_candidates_payload,
+)
+from repro.spatial.extract import Extraction
+
+
+class TestPayloads:
+    def test_request_size(self):
+        assert request_payload().nbytes == DEFAULT_COSTS.request_bytes
+
+    def test_request_with_memory_availability_is_bigger(self):
+        assert (
+            request_payload(with_memory_availability=True).nbytes
+            > request_payload().nbytes
+        )
+
+    def test_candidates_ride_with_request(self):
+        n = 450
+        p = request_with_candidates_payload(n)
+        assert p.nbytes == DEFAULT_COSTS.request_bytes + n * DEFAULT_COSTS.object_id_bytes
+
+    def test_id_list_smaller_than_data_items(self):
+        """The data-present optimization: ids are several times smaller than
+        full records (the paper's 'saving several bytes')."""
+        n = 100
+        assert id_list_payload(n).nbytes * 3 < data_items_payload(n).nbytes
+
+    def test_zero_counts(self):
+        assert id_list_payload(0).nbytes == 0
+        assert data_items_payload(0).nbytes == 0
+
+    def test_negative_counts_raise(self):
+        with pytest.raises(ValueError):
+            id_list_payload(-1)
+        with pytest.raises(ValueError):
+            data_items_payload(-1)
+        with pytest.raises(ValueError):
+            request_with_candidates_payload(-1)
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ValueError):
+            Payload(-1, "bad")
+
+    def test_extraction_payload_includes_data_and_index(self):
+        ext = Extraction(
+            global_ids=np.arange(10),
+            entry_lo=0,
+            entry_hi=10,
+            data_bytes=760,
+            index_bytes=208,
+            fits=True,
+        )
+        p = extraction_payload(ext)
+        assert p.nbytes > 760 + 208  # header framing on top
+        assert "10 items" in p.description

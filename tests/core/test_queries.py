@@ -1,0 +1,33 @@
+"""Query types."""
+
+from __future__ import annotations
+
+from repro.core.queries import NNQuery, PointQuery, QueryKind, RangeQuery
+from repro.spatial.mbr import MBR
+
+
+class TestKinds:
+    def test_point(self):
+        q = PointQuery(1.0, 2.0)
+        assert q.kind is QueryKind.POINT
+        assert q.kind.has_phases
+        assert q.focus() == (1.0, 2.0)
+
+    def test_range(self):
+        q = RangeQuery(MBR(0, 0, 2, 4))
+        assert q.kind is QueryKind.RANGE
+        assert q.kind.has_phases
+        assert q.focus() == (1.0, 2.0)
+
+    def test_nn_has_no_phases(self):
+        q = NNQuery(3.0, 4.0)
+        assert q.kind is QueryKind.NEAREST_NEIGHBOR
+        assert not q.kind.has_phases
+        assert q.focus() == (3.0, 4.0)
+
+    def test_queries_are_hashable_values(self):
+        assert PointQuery(1, 2) == PointQuery(1, 2)
+        assert len({NNQuery(0, 0), NNQuery(0, 0), NNQuery(1, 0)}) == 2
+
+    def test_point_default_eps_positive(self):
+        assert PointQuery(0, 0).eps > 0

@@ -1,0 +1,118 @@
+"""Scheme taxonomy (Table 1) and legality rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.queries import NNQuery, PointQuery, RangeQuery
+from repro.core.schemes import (
+    ADEQUATE_MEMORY_CONFIGS,
+    Scheme,
+    SchemeConfig,
+    table1_rows,
+)
+from repro.spatial.mbr import MBR
+
+
+class TestValidation:
+    def test_fully_client_requires_data(self):
+        with pytest.raises(ValueError):
+            SchemeConfig(Scheme.FULLY_CLIENT, data_at_client=False).validate()
+
+    def test_filter_server_refine_client_requires_data(self):
+        with pytest.raises(ValueError):
+            SchemeConfig(
+                Scheme.FILTER_SERVER_REFINE_CLIENT, data_at_client=False
+            ).validate()
+
+    def test_all_published_configs_are_valid(self):
+        for cfg in ADEQUATE_MEMORY_CONFIGS:
+            cfg.validate()
+
+    def test_nn_rejects_hybrid_schemes(self):
+        q = NNQuery(0, 0)
+        for scheme in (
+            Scheme.FILTER_CLIENT_REFINE_SERVER,
+            Scheme.FILTER_SERVER_REFINE_CLIENT,
+        ):
+            with pytest.raises(ValueError):
+                SchemeConfig(scheme, data_at_client=True).validate_for(q)
+
+    def test_nn_accepts_full_schemes(self):
+        q = NNQuery(0, 0)
+        SchemeConfig(Scheme.FULLY_CLIENT).validate_for(q)
+        SchemeConfig(Scheme.FULLY_SERVER, data_at_client=False).validate_for(q)
+
+    def test_phase_queries_accept_all_schemes(self):
+        for q in (PointQuery(0, 0), RangeQuery(MBR(0, 0, 1, 1))):
+            for cfg in ADEQUATE_MEMORY_CONFIGS:
+                cfg.validate_for(q)
+
+
+class TestIndexPlacement:
+    def test_index_at_client_matches_paper(self):
+        assert SchemeConfig(Scheme.FULLY_CLIENT).index_at_client
+        assert SchemeConfig(
+            Scheme.FILTER_CLIENT_REFINE_SERVER
+        ).index_at_client
+        assert not SchemeConfig(
+            Scheme.FULLY_SERVER, data_at_client=False
+        ).index_at_client
+        assert not SchemeConfig(
+            Scheme.FILTER_SERVER_REFINE_CLIENT
+        ).index_at_client
+
+
+class TestLabels:
+    def test_labels_unique(self):
+        labels = [cfg.label for cfg in ADEQUATE_MEMORY_CONFIGS]
+        assert len(set(labels)) == len(labels)
+
+    def test_fully_client_label_has_no_variant_suffix(self):
+        assert SchemeConfig(Scheme.FULLY_CLIENT).label == "Fully at the Client"
+
+
+class TestTable1:
+    def test_row_count(self):
+        assert len(table1_rows()) == 8
+
+    def test_adequate_rows_match_paper(self):
+        rows = [r for r in table1_rows() if r["scenario"].startswith("Adequate")]
+        assert len(rows) == 6
+        both = "At both Client and Server"
+        server = "Only at the Server"
+        assert {
+            (r["computation"], r["index_resides"], r["data_resides"]) for r in rows
+        } == {
+            ("Fully at the Client", both, both),
+            ("Fully at the Server", server, server),
+            ("Fully at the Server", server, both),
+            ("Filtering at Client, Refinement at Server", both, both),
+            ("Filtering at Client, Refinement at Server", both, server),
+            ("Filtering at Server, Refinement at Client", server, both),
+        }
+
+    def test_insufficient_rows_match_paper(self):
+        rows = [r for r in table1_rows() if r["scenario"].startswith("Insufficient")]
+        assert len(rows) == 2
+        partly = "Partly at Client, Fully at Server"
+        assert {
+            (r["computation"], r["index_resides"], r["data_resides"]) for r in rows
+        } == {
+            ("Fully at the Server", "Only at the Server", "Only at the Server"),
+            ("Fully at the Client", partly, partly),
+        }
+
+    def test_taxonomy_matches_config_list(self):
+        """Every adequate-memory Table 1 row has a SchemeConfig and vice
+        versa (the data-residence column encodes data_at_client)."""
+        rows = [r for r in table1_rows() if r["scenario"].startswith("Adequate")]
+        got = {
+            (cfg.scheme.label, cfg.data_at_client)
+            for cfg in ADEQUATE_MEMORY_CONFIGS
+        }
+        want = {
+            (r["computation"], r["data_resides"] == "At both Client and Server")
+            for r in rows
+        }
+        assert got == want

@@ -1,0 +1,105 @@
+"""Wire encodings: sizes must equal the cost model's byte figures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.constants import DEFAULT_COSTS
+from repro.data import serialize as ser
+from repro.spatial.rtree import PackedRTree
+
+
+class TestSegmentRecords:
+    def test_size_matches_cost_model(self, pa_small):
+        blob = ser.encode_segment(pa_small, 7)
+        assert len(blob) == DEFAULT_COSTS.segment_record_bytes == 76
+
+    def test_roundtrip(self, pa_small):
+        for i in (0, 13, pa_small.size - 1):
+            x1, y1, x2, y2, seg_id, name = ser.decode_segment(
+                ser.encode_segment(pa_small, i)
+            )
+            want = pa_small.segment(i)
+            assert (x1, y1, x2, y2) == pytest.approx(want, rel=1e-6)
+            assert seg_id == i
+            assert len(name) > 0
+
+    def test_bulk_size(self, pa_small):
+        ids = list(range(40))
+        blob = ser.encode_segments(pa_small, ids)
+        assert len(blob) == pa_small.data_bytes(40)
+
+
+class TestObjectRefs:
+    def test_size_matches_cost_model(self, pa_small):
+        blob = ser.encode_object_ref(pa_small, 3)
+        assert len(blob) == DEFAULT_COSTS.object_id_bytes == 16
+
+    def test_roundtrip_id_and_approximate_mbr(self, pa_small):
+        for i in (0, 101, pa_small.size - 1):
+            seg_id, mbr = ser.decode_object_ref(
+                ser.encode_object_ref(pa_small, i), pa_small.extent
+            )
+            assert seg_id == i
+            want = pa_small.segment_mbr(i)
+            # Grid precision: extent/2^24 per axis.
+            tol = max(pa_small.extent.width, pa_small.extent.height) / (1 << 23)
+            assert mbr.xmin == pytest.approx(want.xmin, abs=tol)
+            assert mbr.ymax == pytest.approx(want.ymax, abs=tol)
+
+    def test_bulk_size(self, pa_small):
+        blob = ser.encode_object_refs(pa_small, range(25))
+        assert len(blob) == pa_small.id_bytes(25)
+
+
+class TestQuantization:
+    @given(
+        st.floats(min_value=-1e5, max_value=1e5, allow_nan=False),
+        st.floats(min_value=-1e5, max_value=-1.0),
+        st.floats(min_value=1.0, max_value=1e5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_within_one_cell(self, v, lo, hi):
+        q = ser.quantize_coord(v, lo, hi)
+        back = ser.dequantize_coord(q, lo, hi)
+        clamped = min(max(v, lo), hi)
+        cell = (hi - lo) / ((1 << 24) - 1)
+        assert abs(back - clamped) <= cell
+
+    def test_degenerate_interval_raises(self):
+        with pytest.raises(ValueError):
+            ser.quantize_coord(0.5, 1.0, 1.0)
+
+    def test_clamping(self):
+        assert ser.quantize_coord(-10.0, 0.0, 1.0) == 0
+        assert ser.quantize_coord(10.0, 0.0, 1.0) == (1 << 24) - 1
+
+
+class TestIndexEncoding:
+    def test_encoded_length_equals_index_bytes(self, pa_small, pa_small_tree):
+        blob = ser.encode_index(pa_small_tree)
+        assert len(blob) == pa_small_tree.index_bytes()
+
+    def test_matches_for_other_capacities(self, pa_small):
+        for cap in (5, 40):
+            tree = PackedRTree.build(pa_small, node_capacity=cap)
+            assert len(ser.encode_index(tree)) == tree.index_bytes()
+
+    def test_extraction_budget_is_physical(self, pa_small, pa_small_tree):
+        """The shipment budgeting adds modeled data and index bytes; the
+        actual encodings must sum to the same figure."""
+        from repro.spatial.extract import extract_range
+
+        rect_center = pa_small.extent.center()
+        candidates = pa_small_tree.range_filter(pa_small.extent)
+        ext = extract_range(
+            pa_small_tree, candidates[:50], *rect_center, budget_bytes=128 * 1024
+        )
+        sub = pa_small.subset(ext.global_ids)
+        sub_tree = PackedRTree.build(sub, node_capacity=pa_small_tree.node_capacity)
+        data_blob = ser.encode_segments(sub, range(sub.size))
+        index_blob = ser.encode_index(sub_tree)
+        assert len(data_blob) == ext.data_bytes
+        assert len(index_blob) == ext.index_bytes

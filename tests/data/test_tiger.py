@@ -1,0 +1,120 @@
+"""Synthetic TIGER-like dataset generators."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.data import tiger
+
+
+class TestCardinality:
+    def test_pa_full_matches_paper(self):
+        # Build once at full scale (fast: fully vectorized).
+        ds = tiger.pa_dataset(scale=1.0)
+        assert ds.size == tiger.PA_SEGMENTS == 139_006
+
+    def test_nyc_full_matches_paper(self):
+        ds = tiger.nyc_dataset(scale=1.0)
+        assert ds.size == tiger.NYC_SEGMENTS == 38_778
+
+    def test_scaled_counts(self):
+        ds = tiger.pa_dataset(scale=0.01)
+        assert ds.size == round(tiger.PA_SEGMENTS * 0.01)
+
+    def test_minimum_floor(self):
+        assert tiger.pa_dataset(scale=0.0001).size >= 200
+
+    def test_bad_scale_raises(self):
+        with pytest.raises(ValueError):
+            tiger.pa_dataset(scale=0.0)
+        with pytest.raises(ValueError):
+            tiger.nyc_dataset(scale=1.5)
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        a = tiger.pa_dataset(scale=0.01, seed=7)
+        b = tiger.pa_dataset(scale=0.01, seed=7)
+        assert np.array_equal(a.x1, b.x1) and np.array_equal(a.y2, b.y2)
+
+    def test_different_seed_different_data(self):
+        a = tiger.pa_dataset(scale=0.01, seed=7)
+        b = tiger.pa_dataset(scale=0.01, seed=8)
+        assert not np.array_equal(a.x1, b.x1)
+
+
+class TestRealism:
+    def test_segments_are_street_scale(self, pa_small):
+        """Median segment length is tens-to-hundreds of meters."""
+        lengths = np.hypot(pa_small.x2 - pa_small.x1, pa_small.y2 - pa_small.y1)
+        med = float(np.median(lengths))
+        assert 20.0 < med < 500.0
+
+    def test_clustered_density(self, pa_small):
+        """Town clustering: a random uniform grid cell is often empty while
+        some cells are dense (the density-weighted workload needs this)."""
+        ds = pa_small
+        ext = ds.extent
+        nx = ny = 16
+        cx = ((ds.x1 + ds.x2) / 2 - ext.xmin) / ext.width * nx
+        cy = ((ds.y1 + ds.y2) / 2 - ext.ymin) / ext.height * ny
+        cells = (np.clip(cx.astype(int), 0, nx - 1) * ny
+                 + np.clip(cy.astype(int), 0, ny - 1))
+        counts = np.bincount(cells, minlength=nx * ny)
+        assert (counts == 0).mean() > 0.3  # lots of empty countryside
+        assert counts.max() > ds.size / 20  # and dense towns
+
+    def test_streets_share_endpoints(self, pa_small):
+        """Grid intersections: several segments meet at the same endpoint
+        (the point-query workload relies on this)."""
+        pts = np.concatenate(
+            [
+                np.stack([pa_small.x1, pa_small.y1], axis=1),
+                np.stack([pa_small.x2, pa_small.y2], axis=1),
+            ]
+        )
+        _, counts = np.unique(np.round(pts, 6), axis=0, return_counts=True)
+        assert counts.max() >= 3  # a T-junction or crossroads exists
+
+    def test_data_bytes_near_paper_sizes(self):
+        pa = tiger.pa_dataset(scale=1.0)
+        # 10.06 MB published; our byte model should land within 15%.
+        assert pa.data_bytes() == pytest.approx(10.06e6, rel=0.15)
+        nyc = tiger.nyc_dataset(scale=1.0)
+        # NYC published at 7.09 MB including more per-record attributes; our
+        # fixed 76-byte record gives ~2.9 MB — documented divergence, checked
+        # loosely here so a generator regression still trips.
+        assert nyc.data_bytes() == pytest.approx(
+            tiger.NYC_SEGMENTS * 76, rel=0.01
+        )
+
+
+class TestGridTown:
+    def test_segment_count_formula(self, rng):
+        x1, y1, x2, y2 = tiger.grid_town(rng, 0, 0, rows=4, cols=5, cell=100.0)
+        # rows*(cols+1) vertical-ish + (rows+1)*cols horizontal-ish edges.
+        assert len(x1) == 4 * (5 + 1) + (4 + 1) * 5
+
+    def test_rotation_preserves_count(self, rng):
+        a = tiger.grid_town(rng, 0, 0, 3, 3, 50.0, angle=None)
+        b = tiger.grid_town(rng, 0, 0, 3, 3, 50.0, angle=math.radians(29))
+        assert len(a[0]) == len(b[0])
+
+    def test_invalid_dims_raise(self, rng):
+        with pytest.raises(ValueError):
+            tiger.grid_town(rng, 0, 0, 0, 3, 50.0)
+
+
+class TestStreetNames:
+    def test_deterministic(self):
+        assert tiger.street_name(42) == tiger.street_name(42)
+
+    def test_varies(self):
+        names = {tiger.street_name(i) for i in range(200)}
+        assert len(names) > 100
+
+    def test_format(self):
+        assert "(" in tiger.street_name(0)

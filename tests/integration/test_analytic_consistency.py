@@ -1,0 +1,159 @@
+"""The section-4.1 closed-form model vs the detailed executor.
+
+The analytic model ignores framing overhead, sleep-exit latencies and cache
+effects, so it will not match the executor numerically — but on clear-cut
+scenarios (an order of magnitude away from the crossover) the two must agree
+on *who wins*, and near the crossover their predicted crossover bandwidths
+must be close.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constants import MBPS
+from repro.core.analytic import PartitionParams, evaluate
+from repro.core.executor import (
+    ClientComputeStep,
+    Policy,
+    RecvStep,
+    SendStep,
+    ServerComputeStep,
+    plan_query,
+    price_plan,
+)
+from repro.core.schemes import Scheme, SchemeConfig
+from repro.data.workloads import point_queries, range_queries
+from repro.sim.protocol import packetize
+
+FC = SchemeConfig(Scheme.FULLY_CLIENT)
+FS_PRESENT = SchemeConfig(Scheme.FULLY_SERVER, data_at_client=True)
+
+
+def _params_from_plans(fc_plan, part_plan, env, bandwidth_bps) -> PartitionParams:
+    """Translate two executor plans into the analytic model's inputs."""
+    c_fully_local = sum(
+        s.cost.cycles for s in fc_plan.steps if isinstance(s, ClientComputeStep)
+    )
+    c_local = sum(
+        s.cost.cycles for s in part_plan.steps if isinstance(s, ClientComputeStep)
+    )
+    c_w2 = sum(
+        s.cycles for s in part_plan.steps if isinstance(s, ServerComputeStep)
+    )
+    tx_bits = sum(
+        packetize(s.payload.nbytes).wire_bits
+        for s in part_plan.steps
+        if isinstance(s, SendStep)
+    )
+    rx_bits = sum(
+        packetize(s.payload.nbytes).wire_bits
+        for s in part_plan.steps
+        if isinstance(s, RecvStep)
+    )
+    # Protocol cycles priced the same way the executor prices them.
+    proto = sum(
+        env.client_cpu.protocol(packetize(s.payload.nbytes)).cycles
+        for s in part_plan.steps
+        if isinstance(s, (SendStep, RecvStep))
+    )
+    return PartitionParams(
+        bandwidth_bps=bandwidth_bps,
+        c_fully_local=c_fully_local,
+        c_local=c_local,
+        c_protocol=proto,
+        c_w2=c_w2,
+        packet_tx_bits=tx_bits,
+        packet_rx_bits=rx_bits,
+        client=env.client_cpu.config,
+        server_clock_hz=env.server_cpu.clock_hz,
+    )
+
+
+class TestVerdictAgreement:
+    def test_point_queries_clear_cut_loss(self, env_small, pa_small):
+        """Point queries: both models must say partitioning loses."""
+        for q in point_queries(pa_small, 5, seed=91):
+            env_small.reset_caches()
+            fc_plan = plan_query(q, FC, env_small)
+            env_small.reset_caches()
+            part_plan = plan_query(q, FS_PRESENT, env_small)
+            for bw in (2, 11):
+                v = evaluate(
+                    _params_from_plans(fc_plan, part_plan, env_small, bw * MBPS)
+                )
+                pol = Policy().with_bandwidth(bw * MBPS)
+                fc_run = price_plan(fc_plan, env_small, pol)
+                part_run = price_plan(part_plan, env_small, pol)
+                exec_wins_perf = part_run.cycles.total() < fc_run.cycles.total()
+                exec_wins_energy = part_run.energy.total() < fc_run.energy.total()
+                assert v.wins_performance == exec_wins_perf
+                assert v.wins_energy == exec_wins_energy
+                assert not exec_wins_perf and not exec_wins_energy
+
+    def test_range_queries_crossovers_close(self, pa_full_env, pa_full):
+        """On the full PA range workload, the analytic and executor
+        crossover bandwidths for fully-at-server (data present) must land
+        within one sweep step of each other."""
+        qs = range_queries(pa_full, 100)
+        pa_full_env.reset_caches()
+        fc_plans = [plan_query(q, FC, pa_full_env) for q in qs]
+        pa_full_env.reset_caches()
+        part_plans = [plan_query(q, FS_PRESENT, pa_full_env) for q in qs]
+
+        def totals(bw_mbps):
+            pol = Policy().with_bandwidth(bw_mbps * MBPS)
+            fc_e = fc_c = pt_e = pt_c = 0.0
+            for p in fc_plans:
+                r = price_plan(p, pa_full_env, pol)
+                fc_e += r.energy.total()
+                fc_c += r.cycles.total()
+            for p in part_plans:
+                r = price_plan(p, pa_full_env, pol)
+                pt_e += r.energy.total()
+                pt_c += r.cycles.total()
+            return fc_e, fc_c, pt_e, pt_c
+
+        def analytic_wins(bw_mbps):
+            wins_e = wins_c = True
+            agg = None
+            for fc_p, pt_p in zip(fc_plans, part_plans):
+                p = _params_from_plans(fc_p, pt_p, pa_full_env, bw_mbps * MBPS)
+                if agg is None:
+                    agg = dict(
+                        c_fully_local=0.0, c_local=0.0, c_protocol=0.0,
+                        c_w2=0.0, packet_tx_bits=0.0, packet_rx_bits=0.0,
+                    )
+                agg["c_fully_local"] += p.c_fully_local
+                agg["c_local"] += p.c_local
+                agg["c_protocol"] += p.c_protocol
+                agg["c_w2"] += p.c_w2
+                agg["packet_tx_bits"] += p.packet_tx_bits
+                agg["packet_rx_bits"] += p.packet_rx_bits
+            v = evaluate(
+                PartitionParams(
+                    bandwidth_bps=bw_mbps * MBPS,
+                    client=pa_full_env.client_cpu.config,
+                    server_clock_hz=pa_full_env.server_cpu.clock_hz,
+                    **agg,
+                )
+            )
+            return v.wins_energy, v.wins_performance
+
+        sweep = (2.0, 4.0, 6.0, 8.0, 11.0, 16.0, 24.0)
+        exec_first_e = exec_first_c = ana_first_e = ana_first_c = None
+        for i, bw in enumerate(sweep):
+            fc_e, fc_c, pt_e, pt_c = totals(bw)
+            if exec_first_e is None and pt_e < fc_e:
+                exec_first_e = i
+            if exec_first_c is None and pt_c < fc_c:
+                exec_first_c = i
+            wa_e, wa_c = analytic_wins(bw)
+            if ana_first_e is None and wa_e:
+                ana_first_e = i
+            if ana_first_c is None and wa_c:
+                ana_first_c = i
+        assert exec_first_e is not None and ana_first_e is not None
+        assert exec_first_c is not None and ana_first_c is not None
+        assert abs(exec_first_e - ana_first_e) <= 1
+        assert abs(exec_first_c - ana_first_c) <= 1

@@ -1,0 +1,146 @@
+"""Cross-module conservation laws.
+
+The executor composes the CPU models, protocol model and NIC state machine;
+these tests assert that nothing leaks at the seams: time, bytes and energy
+are conserved end-to-end for every scheme and policy combination.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.constants import MBPS
+from repro.core.executor import (
+    ClientComputeStep,
+    Policy,
+    RecvStep,
+    SendStep,
+    ServerComputeStep,
+    plan_query,
+    price_plan,
+)
+from repro.core.schemes import ADEQUATE_MEMORY_CONFIGS
+from repro.data.workloads import range_queries
+from repro.sim.protocol import packetize
+
+
+@pytest.fixture(scope="module")
+def sample_plans(pa_small, pa_small_tree):
+    """One plan per scheme over the same query (module-scoped: read-only)."""
+    from repro.core.executor import Environment
+
+    env = Environment.create(pa_small, tree=pa_small_tree)
+    q = range_queries(pa_small, 1, seed=71)[0]
+    plans = []
+    for cfg in ADEQUATE_MEMORY_CONFIGS:
+        env.reset_caches()
+        plans.append((cfg, plan_query(q, cfg, env), env))
+    return plans
+
+
+class TestTimeConservation:
+    def test_wall_time_decomposition(self, sample_plans):
+        """wall = compute + tx + rx + wait, up to NIC sleep-exit latencies."""
+        for cfg, plan, env in sample_plans:
+            for bw in (2, 11):
+                r = price_plan(plan, env, Policy().with_bandwidth(bw * MBPS))
+                clock = env.client_cpu.clock_hz
+                bucket_seconds = r.cycles.total() / clock
+                n_exits_max = 2 * len(plan.steps)
+                assert r.wall_seconds >= bucket_seconds - 1e-12, cfg.label
+                assert r.wall_seconds <= bucket_seconds + n_exits_max * 470e-6, (
+                    cfg.label
+                )
+
+
+class TestByteConservation:
+    def test_message_log_matches_plan_payloads(self, sample_plans):
+        for cfg, plan, env in sample_plans:
+            r = price_plan(plan, env, Policy())
+            plan_payloads = [
+                ("tx", s.payload.nbytes) if isinstance(s, SendStep)
+                else ("rx", s.payload.nbytes)
+                for s in plan.steps
+                if isinstance(s, (SendStep, RecvStep))
+            ]
+            assert list(r.messages) == plan_payloads, cfg.label
+
+    def test_transfer_time_matches_packetization(self, sample_plans):
+        """NIC tx/rx seconds equal the packetized wire bits over bandwidth
+        (plus at most one sleep-exit latency on the tx side)."""
+        for cfg, plan, env in sample_plans:
+            bw = 4 * MBPS
+            r = price_plan(plan, env, Policy().with_bandwidth(bw))
+            tx_bits = sum(
+                packetize(s.payload.nbytes, Policy().network).wire_bits
+                for s in plan.steps
+                if isinstance(s, SendStep)
+            )
+            rx_bits = sum(
+                packetize(s.payload.nbytes, Policy().network).wire_bits
+                for s in plan.steps
+                if isinstance(s, RecvStep)
+            )
+            clock = env.client_cpu.clock_hz
+            got_tx_s = r.cycles.nic_tx / clock
+            got_rx_s = r.cycles.nic_rx / clock
+            n_sends = sum(1 for s in plan.steps if isinstance(s, SendStep))
+            assert got_tx_s == pytest.approx(
+                tx_bits / bw, abs=n_sends * 470e-6 + 1e-12
+            ), cfg.label
+            assert got_rx_s == pytest.approx(rx_bits / bw, abs=1e-12), cfg.label
+
+
+class TestEnergyConservation:
+    def test_total_energy_decomposes_into_buckets(self, sample_plans):
+        for cfg, plan, env in sample_plans:
+            r = price_plan(plan, env, Policy())
+            assert r.energy.total() == pytest.approx(
+                r.energy.processor
+                + r.energy.nic_tx
+                + r.energy.nic_rx
+                + r.energy.nic_idle
+                + r.energy.nic_sleep
+            )
+
+    def test_processor_energy_at_least_compute_events(self, sample_plans):
+        """Blocked-CPU energy only adds to the per-event compute energy."""
+        for cfg, plan, env in sample_plans:
+            r = price_plan(plan, env, Policy())
+            compute_e = sum(
+                s.cost.energy_j
+                for s in plan.steps
+                if isinstance(s, ClientComputeStep)
+            )
+            assert r.energy.processor >= compute_e - 1e-15, cfg.label
+
+    @given(st.floats(min_value=0.5, max_value=20.0))
+    @settings(max_examples=10, deadline=None)
+    def test_energy_scales_inverse_with_bandwidth_for_nic(
+        self, sample_plans, factor
+    ):
+        """NIC tx/rx energy at bandwidth B*f equals (energy at B)/f, up to
+        the bandwidth-independent sleep-exit charge."""
+        cfg, plan, env = sample_plans[1]  # fully-at-server, data absent
+        base_bw = 2 * MBPS
+        a = price_plan(plan, env, Policy().with_bandwidth(base_bw))
+        b = price_plan(plan, env, Policy().with_bandwidth(base_bw * factor))
+        assert b.energy.nic_rx * factor == pytest.approx(a.energy.nic_rx, rel=1e-9)
+        assert b.energy.nic_tx * factor == pytest.approx(a.energy.nic_tx, rel=1e-9)
+
+
+class TestServerWait:
+    def test_wait_cycles_scale_with_clock_ratio(self, sample_plans):
+        """C_wait = C_w2 * MhzC / MhzS exactly."""
+        for cfg, plan, env in sample_plans:
+            server_cycles = sum(
+                s.cycles for s in plan.steps if isinstance(s, ServerComputeStep)
+            )
+            r = price_plan(plan, env, Policy())
+            expected = (
+                server_cycles
+                / env.server_cpu.clock_hz
+                * env.client_cpu.clock_hz
+            )
+            assert r.cycles.wait == pytest.approx(expected, rel=1e-12), cfg.label

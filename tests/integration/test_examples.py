@@ -1,0 +1,73 @@
+"""The example scripts must run end-to-end (small scales for speed).
+
+These are subprocess smoke tests: each example is part of the public
+deliverable, so a refactor that breaks an import or an API call in one of
+them should fail the suite, not a user's first run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def _run(script: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+
+
+class TestExamplesRun:
+    def test_quickstart(self):
+        r = _run("quickstart.py")
+        assert r.returncode == 0, r.stderr
+        assert "point query" in r.stdout
+        assert "Fully at the Client" in r.stdout
+
+    def test_road_atlas_session(self):
+        r = _run("road_atlas_session.py", "--scale", "0.05")
+        assert r.returncode == 0, r.stderr
+        assert "BEST ENERGY" in r.stdout
+        assert "BEST TIME" in r.stdout
+
+    def test_battery_planner(self):
+        r = _run("battery_planner.py", "--scale", "0.05", "--runs", "10")
+        assert r.returncode == 0, r.stderr
+        assert "battery pick" in r.stdout
+        assert "queries/charge" in r.stdout
+
+    def test_battery_planner_nn(self):
+        r = _run(
+            "battery_planner.py", "--scale", "0.05", "--runs", "5",
+            "--query", "nn",
+        )
+        assert r.returncode == 0, r.stderr
+
+    def test_insufficient_memory_tour(self):
+        r = _run(
+            "insufficient_memory_tour.py",
+            "--scale", "0.1", "--stops", "1", "--browse", "8",
+        )
+        assert r.returncode == 0, r.stderr
+        assert "always-at-server" in r.stdout
+        assert "cached" in r.stdout
+
+    def test_driving_directions(self):
+        r = _run("driving_directions.py", "--scale", "0.1")
+        assert r.returncode == 0, r.stderr
+        assert "route:" in r.stdout
+        assert "ask-the-server" in r.stdout
+
+    def test_hot_region_broadcast(self):
+        r = _run("hot_region_broadcast.py", "--queries", "20")
+        assert r.returncode == 0, r.stderr
+        assert "hot region" in r.stdout
+        assert "tune once, cache" in r.stdout

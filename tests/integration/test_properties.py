@@ -1,0 +1,208 @@
+"""System-level property tests (hypothesis).
+
+These go beyond the per-module property tests: they generate random
+datasets, queries, plans and policies, and assert the invariants that hold
+across module boundaries — the contracts the executor, indexes and pricing
+rely on without ever re-stating them locally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.constants import MBPS
+from repro.core.executor import (
+    ClientComputeStep,
+    Environment,
+    Policy,
+    QueryPlan,
+    RecvStep,
+    SendStep,
+    ServerComputeStep,
+    WaitStep,
+    price_plan,
+)
+from repro.core.messages import Payload
+from repro.core.pipeline import price_pipelined_workload
+from repro.core.schemes import Scheme, SchemeConfig
+from repro.data.model import SegmentDataset
+from repro.sim.cpu import ComputeCost
+from repro.spatial import bruteforce as bf
+from repro.spatial.buddytree import BuddyTree
+from repro.spatial.extract import extract_range, max_entries_within_budget
+from repro.spatial.mbr import MBR
+from repro.spatial.quadtree import PMRQuadtree
+from repro.spatial.rtree import PackedRTree
+
+
+# ----------------------------------------------------------------------
+# Random datasets -> all indexes agree with the oracle
+# ----------------------------------------------------------------------
+@st.composite
+def small_datasets(draw):
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    n = draw(st.integers(min_value=3, max_value=120))
+    rng = np.random.default_rng(seed)
+    cx = rng.uniform(0, 100, n)
+    cy = rng.uniform(0, 100, n)
+    dx = rng.normal(0, 2.0, n)
+    dy = rng.normal(0, 2.0, n)
+    return SegmentDataset("h", cx - dx, cy - dy, cx + dx, cy + dy)
+
+
+@st.composite
+def windows(draw):
+    x1, x2 = sorted((draw(st.floats(-10, 110)), draw(st.floats(-10, 110))))
+    y1, y2 = sorted((draw(st.floats(-10, 110)), draw(st.floats(-10, 110))))
+    return MBR(x1, y1, x2, y2)
+
+
+class TestIndexOracleAgreement:
+    @given(small_datasets(), windows())
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_all_indexes_filter_to_supersets_of_the_answer(self, ds, rect):
+        answer = set(bf.range_query(ds, rect).tolist())
+        rtree = PackedRTree.build(ds, node_capacity=4)
+        qtree = PMRQuadtree(ds, splitting_threshold=3)
+        btree = BuddyTree(ds, page_capacity=3)
+        mbr_filter = set(bf.range_filter(ds, rect).tolist())
+        assert set(rtree.range_filter(rect).tolist()) == mbr_filter
+        assert set(btree.range_filter(rect).tolist()) == mbr_filter
+        q_cand = set(qtree.range_filter(rect).tolist())
+        assert answer <= q_cand <= mbr_filter
+
+    @given(small_datasets(), st.floats(0, 100), st.floats(0, 100),
+           st.integers(min_value=1, max_value=5))
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_all_indexes_knn_distances_agree(self, ds, px, py, k):
+        from repro.spatial.geometry import point_segment_distance_sq as d2
+
+        want = sorted(
+            d2(px, py, *ds.segment(int(i)))
+            for i in bf.k_nearest_neighbors(ds, px, py, k)
+        )
+        for index in (
+            PackedRTree.build(ds, node_capacity=4),
+            PMRQuadtree(ds, splitting_threshold=3),
+            BuddyTree(ds, page_capacity=3),
+        ):
+            got = sorted(
+                d2(px, py, *ds.segment(int(i)))
+                for i in index.nearest_neighbors(px, py, k)
+            )
+            assert len(got) == min(k, ds.size)
+            assert np.allclose(got, want[: len(got)], rtol=1e-9, atol=1e-12)
+
+
+# ----------------------------------------------------------------------
+# Random plans -> pricing invariants
+# ----------------------------------------------------------------------
+def _compute_step(cycles: float) -> ClientComputeStep:
+    cost = ComputeCost(
+        instructions=cycles, cycles=cycles, energy_j=cycles * 1e-9,
+        dcache_accesses=0, dcache_misses=0,
+    )
+    return ClientComputeStep(cost, "synthetic")
+
+
+@st.composite
+def synthetic_plans(draw):
+    steps = [_compute_step(draw(st.floats(0, 1e6)))]
+    n_rounds = draw(st.integers(min_value=0, max_value=3))
+    for _ in range(n_rounds):
+        steps.append(SendStep(Payload(draw(st.integers(0, 100_000)), "tx")))
+        steps.append(ServerComputeStep(draw(st.floats(0, 1e7)), "srv"))
+        steps.append(RecvStep(Payload(draw(st.integers(0, 500_000)), "rx")))
+        steps.append(_compute_step(draw(st.floats(0, 1e5))))
+    if draw(st.booleans()):
+        steps.append(WaitStep(draw(st.floats(0, 2.0)), draw(st.booleans())))
+    return QueryPlan(
+        query=None,
+        config=SchemeConfig(Scheme.FULLY_CLIENT),
+        steps=steps,
+        answer_ids=np.empty(0, dtype=np.int64),
+        n_candidates=0,
+        n_results=0,
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_env():
+    rng = np.random.default_rng(5)
+    cx, cy = rng.uniform(0, 100, 20), rng.uniform(0, 100, 20)
+    ds = SegmentDataset("tiny", cx, cy, cx + 1, cy + 1)
+    return Environment.create(ds, tree=PackedRTree.build(ds, node_capacity=4))
+
+
+class TestPricingProperties:
+    @given(synthetic_plans(), st.floats(min_value=1.1, max_value=20.0))
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_energy_and_cycles_monotone_in_bandwidth(
+        self, tiny_env, plan, factor
+    ):
+        slow = price_plan(plan, tiny_env, Policy().with_bandwidth(2 * MBPS))
+        fast = price_plan(
+            plan, tiny_env, Policy().with_bandwidth(2 * MBPS * factor)
+        )
+        assert fast.cycles.total() <= slow.cycles.total() + 1e-6
+        assert fast.energy.total() <= slow.energy.total() + 1e-12
+
+    @given(synthetic_plans(), st.floats(min_value=101.0, max_value=5000.0))
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_energy_monotone_in_distance(self, tiny_env, plan, distance):
+        near = price_plan(plan, tiny_env, Policy().with_distance(100.0))
+        far = price_plan(plan, tiny_env, Policy().with_distance(distance))
+        assert far.energy.total() >= near.energy.total() - 1e-12
+        assert far.cycles.total() == pytest.approx(near.cycles.total())
+
+    @given(synthetic_plans())
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_busy_wait_dominates_blocking(self, tiny_env, plan):
+        block = price_plan(plan, tiny_env, Policy(busy_wait=False))
+        spin = price_plan(plan, tiny_env, Policy(busy_wait=True))
+        assert spin.energy.total() >= block.energy.total() - 1e-15
+
+    @given(st.lists(synthetic_plans(), min_size=1, max_size=5))
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_pipeline_never_slower_and_bounded_below(self, tiny_env, plans):
+        r = price_pipelined_workload(plans, tiny_env, Policy())
+        assert r.wall_seconds <= r.sequential_wall_seconds + 1e-9
+        clock = tiny_env.client_cpu.clock_hz
+        cpu_s = r.cycles.processor / clock
+        net_s = (r.cycles.nic_tx + r.cycles.nic_rx) / clock
+        assert r.wall_seconds >= max(cpu_s, net_s) - 1e-9
+
+
+# ----------------------------------------------------------------------
+# Random extraction budgets
+# ----------------------------------------------------------------------
+class TestExtractionProperties:
+    @given(
+        st.integers(min_value=0, max_value=400_000),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_budget_always_respected(self, pa_small_tree, budget, seed):
+        tree = pa_small_tree
+        rng = np.random.default_rng(seed)
+        i = int(rng.integers(0, tree.dataset.size))
+        mbr = tree.dataset.segment_mbr(i)
+        rect = mbr.expand(tree.dataset.extent.width * 0.01)
+        candidates = tree.range_filter(rect)
+        ext = extract_range(tree, candidates, *rect.center(), budget)
+        if ext.fits:
+            assert ext.total_bytes <= budget or budget <= 0
+            shipped = set(ext.global_ids.tolist())
+            assert set(candidates.tolist()) <= shipped
+            assert ext.n_entries == max_entries_within_budget(tree, budget)
+        else:
+            assert ext.n_entries == 0

@@ -1,0 +1,91 @@
+"""Every work-partitioning scheme must return the same answers.
+
+Partitioning moves *where* computation happens, never *what* is computed:
+for any query, all six adequate-memory configurations and the
+insufficient-memory cached client must produce identical answer sets, equal
+to the brute-force oracle.  This is the core safety property of the
+reproduction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.clientcache import ClientCacheSession
+from repro.core.executor import plan_query
+from repro.core.queries import QueryKind
+from repro.core.schemes import ADEQUATE_MEMORY_CONFIGS, Scheme, SchemeConfig
+from repro.data.workloads import (
+    nn_queries,
+    point_queries,
+    proximity_sequence,
+    range_queries,
+)
+from repro.spatial import bruteforce as bf
+
+
+class TestAdequateMemoryEquivalence:
+    def _assert_all_equal(self, env, queries, configs, oracle):
+        for q in queries:
+            want = np.sort(oracle(q))
+            for cfg in configs:
+                env.reset_caches()
+                plan = plan_query(q, cfg, env)
+                got = np.sort(plan.answer_ids)
+                assert np.array_equal(got, want), f"{cfg.label} on {q}"
+
+    def test_range_queries(self, env_small, pa_small):
+        self._assert_all_equal(
+            env_small,
+            range_queries(pa_small, 8, seed=61),
+            ADEQUATE_MEMORY_CONFIGS,
+            lambda q: bf.range_query(pa_small, q.rect),
+        )
+
+    def test_point_queries(self, env_small, pa_small):
+        self._assert_all_equal(
+            env_small,
+            point_queries(pa_small, 8, seed=63),
+            ADEQUATE_MEMORY_CONFIGS,
+            lambda q: bf.point_query(pa_small, q.x, q.y, q.eps),
+        )
+
+    def test_nn_queries(self, env_small, pa_small):
+        configs = [
+            SchemeConfig(Scheme.FULLY_CLIENT),
+            SchemeConfig(Scheme.FULLY_SERVER, data_at_client=True),
+            SchemeConfig(Scheme.FULLY_SERVER, data_at_client=False),
+        ]
+        from repro.spatial.geometry import point_segment_distance_sq
+
+        for q in nn_queries(pa_small, 8, seed=65):
+            answers = []
+            for cfg in configs:
+                env_small.reset_caches()
+                plan = plan_query(q, cfg, env_small)
+                assert plan.n_results == 1
+                answers.append(int(plan.answer_ids[0]))
+            d = [
+                point_segment_distance_sq(q.x, q.y, *pa_small.segment(a))
+                for a in answers
+            ]
+            want = bf.nearest_neighbor(pa_small, q.x, q.y)
+            want_d = point_segment_distance_sq(q.x, q.y, *pa_small.segment(want))
+            for di in d:
+                assert di == pytest.approx(want_d, rel=1e-12, abs=1e-12)
+
+
+class TestInsufficientMemoryEquivalence:
+    def test_cached_session_equals_oracle_over_long_session(
+        self, env_small, pa_small
+    ):
+        session = ClientCacheSession(env_small, 192 * 1024)
+        for q in proximity_sequence(pa_small, y=10, n_groups=4, seed=67):
+            plan = session.plan(q)
+            assert q.kind is QueryKind.RANGE
+            want = bf.range_query(pa_small, q.rect)
+            assert np.array_equal(np.sort(plan.answer_ids), np.sort(want))
+        # The session must have exercised both paths.
+        assert session.local_hits > 0
+        assert session.misses > 0

@@ -1,0 +1,62 @@
+"""Energy/cycle breakdown records."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.metrics import CycleBreakdown, EnergyBreakdown
+
+
+class TestEnergyBreakdown:
+    def test_total(self):
+        e = EnergyBreakdown(1, 2, 3, 4, 5)
+        assert e.total() == 15
+        assert e.nic_total() == 14
+
+    def test_add(self):
+        a = EnergyBreakdown(processor=1.0, nic_tx=2.0)
+        b = EnergyBreakdown(processor=0.5, nic_rx=3.0)
+        s = a + b
+        assert s.processor == 1.5
+        assert s.nic_tx == 2.0
+        assert s.nic_rx == 3.0
+        assert s.total() == pytest.approx(6.5)
+
+    def test_scaled(self):
+        e = EnergyBreakdown(1, 2, 3, 4, 5).scaled(0.5)
+        assert e.total() == pytest.approx(7.5)
+
+    def test_default_is_zero(self):
+        assert EnergyBreakdown().total() == 0.0
+
+    def test_as_dict_keys(self):
+        d = EnergyBreakdown().as_dict()
+        assert set(d) == {"processor", "nic_tx", "nic_rx", "nic_idle", "nic_sleep"}
+
+
+class TestCycleBreakdown:
+    def test_total(self):
+        c = CycleBreakdown(1, 2, 3, 4)
+        assert c.total() == 10
+
+    def test_add_and_scale(self):
+        a = CycleBreakdown(processor=100, wait=50)
+        b = CycleBreakdown(nic_tx=25)
+        assert (a + b).total() == 175
+        assert a.scaled(2).total() == 300
+
+    def test_seconds(self):
+        c = CycleBreakdown(processor=125_000_000)
+        assert c.seconds(125e6) == pytest.approx(1.0)
+
+    def test_seconds_invalid_clock(self):
+        with pytest.raises(ValueError):
+            CycleBreakdown().seconds(0)
+
+    def test_as_dict_keys(self):
+        assert set(CycleBreakdown().as_dict()) == {
+            "processor",
+            "nic_tx",
+            "nic_rx",
+            "wait",
+        }

@@ -1,0 +1,122 @@
+"""NIC power-state machine: transitions, ledger conservation, Table 2."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.constants import DEFAULT_NIC_POWER
+from repro.sim.nic import NIC, NICState
+
+
+class TestTable2:
+    def test_published_powers(self):
+        t = DEFAULT_NIC_POWER
+        assert t.transmit_1km_w == pytest.approx(3.0891)
+        assert t.transmit_100m_w == pytest.approx(1.0891)
+        assert t.receive_w == pytest.approx(0.165)
+        assert t.idle_w == pytest.approx(0.100)
+        assert t.sleep_w == pytest.approx(0.0198)
+        assert t.sleep_exit_latency_s == pytest.approx(470e-6)
+
+
+class TestStateMachine:
+    def test_starts_asleep(self):
+        assert NIC().state is NICState.SLEEP
+
+    def test_transmit_wakes_and_charges_exit_latency(self):
+        nic = NIC(distance_m=1000.0)
+        elapsed = nic.transmit(2_000_000, 2_000_000)
+        assert elapsed == pytest.approx(1.0 + 470e-6)
+        assert nic.sleep_exits == 1
+        # Exit latency is billed at idle power.
+        assert nic.energy_j[NICState.IDLE] == pytest.approx(0.100 * 470e-6)
+        assert nic.energy_j[NICState.TRANSMIT] == pytest.approx(3.0891, rel=1e-3)
+
+    def test_no_exit_latency_when_already_awake(self):
+        nic = NIC()
+        nic.idle(0.1)
+        assert nic.sleep_exits == 1
+        t = nic.transmit(1000, 1e6)
+        assert t == pytest.approx(0.001)
+        assert nic.sleep_exits == 1
+
+    def test_receive_from_sleep_raises(self):
+        nic = NIC()
+        with pytest.raises(RuntimeError):
+            nic.receive(1000, 1e6)
+
+    def test_receive_after_idle(self):
+        nic = NIC()
+        nic.idle(0.5)
+        t = nic.receive(165_000, 1_000_000)
+        assert t == pytest.approx(0.165)
+        assert nic.energy_j[NICState.RECEIVE] == pytest.approx(0.165 * 0.165)
+
+    def test_receive_power_independent_of_distance(self):
+        near = NIC(distance_m=100.0)
+        far = NIC(distance_m=1000.0)
+        for nic in (near, far):
+            nic.idle(0.0)
+            nic.receive(1_000_000, 1_000_000)
+        assert near.energy_j[NICState.RECEIVE] == pytest.approx(
+            far.energy_j[NICState.RECEIVE]
+        )
+
+    def test_transmit_power_depends_on_distance(self):
+        near = NIC(distance_m=100.0)
+        far = NIC(distance_m=1000.0)
+        near.transmit(1_000_000, 1_000_000)
+        far.transmit(1_000_000, 1_000_000)
+        ratio = far.energy_j[NICState.TRANSMIT] / near.energy_j[NICState.TRANSMIT]
+        assert ratio == pytest.approx(3.0891 / 1.0891, rel=1e-6)
+
+    def test_invalid_arguments_raise(self):
+        nic = NIC()
+        with pytest.raises(ValueError):
+            nic.transmit(-1, 1e6)
+        with pytest.raises(ValueError):
+            nic.transmit(100, 0)
+        with pytest.raises(ValueError):
+            nic.sleep(-1)
+
+
+class TestLedgerConservation:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["tx", "rx", "idle", "sleep"]),
+                st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_energy_equals_power_times_time(self, ops):
+        """Over any activity sequence: per-state energy = power x time, and
+        total elapsed equals the sum of state times."""
+        nic = NIC(distance_m=1000.0)
+        elapsed = 0.0
+        for kind, amount in ops:
+            if kind == "tx":
+                elapsed += nic.transmit(amount * 1e6, 2e6)
+            elif kind == "rx":
+                if nic.state is NICState.SLEEP:
+                    elapsed += nic.idle(0.0)
+                elapsed += nic.receive(amount * 1e6, 2e6)
+            elif kind == "idle":
+                elapsed += nic.idle(amount)
+            else:
+                elapsed += nic.sleep(amount)
+        assert nic.total_time_s() == pytest.approx(elapsed, rel=1e-9, abs=1e-12)
+        powers = {
+            NICState.TRANSMIT: nic.radio.transmit_power_w(1000.0),
+            NICState.RECEIVE: nic.power_table.receive_w,
+            NICState.IDLE: nic.power_table.idle_w,
+            NICState.SLEEP: nic.power_table.sleep_w,
+        }
+        for state, p in powers.items():
+            assert nic.energy_j[state] == pytest.approx(
+                p * nic.time_s[state], rel=1e-9, abs=1e-12
+            )

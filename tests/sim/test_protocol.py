@@ -1,0 +1,95 @@
+"""TCP/IP packetization: framing, byte conservation, transfer timing."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.constants import DEFAULT_NETWORK, NetworkConfig
+from repro.sim.protocol import packetize, protocol_instructions, transfer_seconds
+
+
+class TestPacketize:
+    def test_empty_payload_is_one_frame(self):
+        msg = packetize(0)
+        assert msg.n_frames == 1
+        assert msg.payload_bytes == 0
+        assert msg.wire_bytes == msg.header_bytes
+
+    def test_single_frame(self):
+        net = DEFAULT_NETWORK
+        cap = net.mtu_bytes - net.tcp_header_bytes - net.ip_header_bytes
+        msg = packetize(cap)
+        assert msg.n_frames == 1
+
+    def test_boundary_rolls_to_second_frame(self):
+        net = DEFAULT_NETWORK
+        cap = net.mtu_bytes - net.tcp_header_bytes - net.ip_header_bytes
+        assert packetize(cap + 1).n_frames == 2
+
+    def test_negative_payload_raises(self):
+        with pytest.raises(ValueError):
+            packetize(-1)
+
+    def test_mtu_too_small_raises(self):
+        net = NetworkConfig(mtu_bytes=30)
+        with pytest.raises(ValueError):
+            packetize(100, net)
+
+    @given(st.integers(min_value=0, max_value=5_000_000))
+    @settings(max_examples=60, deadline=None)
+    def test_byte_conservation(self, payload):
+        """wire = payload + frames x per-frame-overhead, exactly."""
+        net = DEFAULT_NETWORK
+        msg = packetize(payload, net)
+        per_frame = (
+            net.tcp_header_bytes + net.ip_header_bytes + net.link_header_bytes
+        )
+        cap = net.mtu_bytes - net.tcp_header_bytes - net.ip_header_bytes
+        assert msg.n_frames == max(1, math.ceil(payload / cap))
+        assert msg.header_bytes == msg.n_frames * per_frame
+        assert msg.wire_bytes == payload + msg.header_bytes
+        assert msg.wire_bits == msg.wire_bytes * 8
+
+    @given(
+        st.integers(min_value=0, max_value=1_000_000),
+        st.integers(min_value=0, max_value=1_000_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_in_payload(self, a, b):
+        small, large = sorted((a, b))
+        assert packetize(small).wire_bytes <= packetize(large).wire_bytes
+
+
+class TestTransfer:
+    def test_transfer_time(self):
+        msg = packetize(250_000)
+        # wire bits / bandwidth
+        assert transfer_seconds(msg, 2_000_000) == pytest.approx(
+            msg.wire_bits / 2_000_000
+        )
+
+    def test_higher_bandwidth_is_faster(self):
+        msg = packetize(100_000)
+        assert transfer_seconds(msg, 11e6) < transfer_seconds(msg, 2e6)
+
+    def test_zero_bandwidth_raises(self):
+        with pytest.raises(ValueError):
+            transfer_seconds(packetize(10), 0)
+
+
+class TestProtocolInstructions:
+    def test_fixed_floor_for_empty_message(self):
+        net = DEFAULT_NETWORK
+        instr = protocol_instructions(packetize(0, net), net)
+        assert instr == net.per_message_instructions + net.per_frame_instructions
+
+    def test_scales_with_frames_and_bytes(self):
+        net = DEFAULT_NETWORK
+        small = protocol_instructions(packetize(100, net), net)
+        big = protocol_instructions(packetize(100_000, net), net)
+        assert big > small
+        # Per-byte component present:
+        assert big - small >= (100_000 - 100) * net.per_byte_instructions

@@ -1,0 +1,52 @@
+"""Distance-dependent transmit power model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.radio import RadioModel
+
+
+class TestAnchors:
+    def test_exact_at_100m(self):
+        assert RadioModel().transmit_power_w(100.0) == pytest.approx(1.0891)
+
+    def test_exact_at_1km(self):
+        assert RadioModel().transmit_power_w(1000.0) == pytest.approx(3.0891)
+
+    def test_anchors_exact_for_any_exponent(self):
+        for alpha in (1.0, 2.0, 3.5, 4.0):
+            m = RadioModel(path_loss_exponent=alpha)
+            assert m.transmit_power_w(100.0) == pytest.approx(1.0891)
+            assert m.transmit_power_w(1000.0) == pytest.approx(3.0891)
+
+
+class TestShape:
+    def test_monotone_increasing(self):
+        m = RadioModel()
+        samples = [m.transmit_power_w(d) for d in (10, 50, 100, 300, 1000, 2000)]
+        assert samples == sorted(samples)
+
+    def test_electronics_floor_at_short_range(self):
+        """Very short range power approaches the electronics term, staying
+        positive and below the 100 m anchor."""
+        p = RadioModel().transmit_power_w(1.0)
+        assert 0 < p < 1.0891
+
+    def test_nonpositive_distance_raises(self):
+        with pytest.raises(ValueError):
+            RadioModel().transmit_power_w(0.0)
+        with pytest.raises(ValueError):
+            RadioModel().transmit_power_w(-5.0)
+
+    def test_bad_anchor_order_raises(self):
+        m = RadioModel(near_anchor_m=1000.0, far_anchor_m=100.0)
+        with pytest.raises(ValueError):
+            m.transmit_power_w(500.0)
+
+    def test_near_tripling_from_100m_to_1km(self):
+        """The paper: 'changing the transmission distance from 100 meters to
+        1 kilometer can nearly triple the transmitter power'."""
+        m = RadioModel()
+        ratio = m.transmit_power_w(1000.0) / m.transmit_power_w(100.0)
+        assert 2.5 < ratio < 3.0

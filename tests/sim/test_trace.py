@@ -1,0 +1,86 @@
+"""Operation counters and access traces."""
+
+from __future__ import annotations
+
+from repro.sim.trace import REGION_DATA, REGION_INDEX, Access, OpCounter
+
+
+class TestRecording:
+    def test_visit_node_counts_and_traces(self):
+        c = OpCounter()
+        c.visit_node(7, 512)
+        assert c.nodes_visited == 1
+        assert c.trace == [Access(REGION_INDEX, 7, 512)]
+
+    def test_refine_candidate(self):
+        c = OpCounter()
+        c.refine_candidate(42, 76)
+        assert c.candidates_refined == 1
+        assert c.trace == [Access(REGION_DATA, 42, 76)]
+
+    def test_trace_disabled(self):
+        c = OpCounter(record_trace=False)
+        c.visit_node(7, 512)
+        c.touch(REGION_DATA, 1, 76)
+        assert c.nodes_visited == 1
+        assert c.trace == []
+
+
+class TestMerge:
+    def _sample(self, k):
+        c = OpCounter()
+        c.nodes_visited = k
+        c.mbr_tests = 2 * k
+        c.results_produced = 3 * k
+        c.touch(REGION_INDEX, k, 100)
+        return c
+
+    def test_merge_adds_counts_and_concatenates_traces(self):
+        a, b = self._sample(1), self._sample(10)
+        a.merge(b)
+        assert a.nodes_visited == 11
+        assert a.mbr_tests == 22
+        assert a.results_produced == 33
+        assert len(a.trace) == 2
+
+    def test_merge_is_lossless_over_many(self):
+        total = OpCounter()
+        for k in range(1, 20):
+            total.merge(self._sample(k))
+        assert total.nodes_visited == sum(range(1, 20))
+        assert len(total.trace) == 19
+
+    def test_merge_into_traceless_drops_trace_only(self):
+        a = OpCounter(record_trace=False)
+        b = self._sample(5)
+        a.merge(b)
+        assert a.nodes_visited == 5
+        assert a.trace == []
+
+    def test_copy_counts_drops_trace(self):
+        c = self._sample(4)
+        cp = c.copy_counts()
+        assert cp.nodes_visited == 4
+        assert cp.trace == []
+        assert cp.record_trace is False
+
+
+class TestIntrospection:
+    def test_counts_dict_fields(self):
+        c = OpCounter()
+        d = c.counts_dict()
+        assert set(d) == set(OpCounter._COUNT_FIELDS)
+        assert all(v == 0 for v in d.values())
+
+    def test_total_events(self):
+        c = OpCounter()
+        assert c.total_events() == 0
+        c.heap_ops = 3
+        c.distance_evals = 2
+        assert c.total_events() == 5
+
+    def test_iter_trace_order(self):
+        c = OpCounter()
+        c.touch(REGION_DATA, 1, 10)
+        c.touch(REGION_DATA, 2, 10)
+        assert [a.object_id for a in c.iter_trace()] == [1, 2]

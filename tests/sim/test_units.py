@@ -1,0 +1,56 @@
+"""Unit-conversion helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import units as u
+
+
+class TestConversions:
+    def test_bandwidth(self):
+        assert u.mbps_to_bps(2) == 2_000_000
+        assert u.bps_to_mbps(11_000_000) == 11
+
+    def test_clock(self):
+        assert u.mhz_to_hz(125) == 125_000_000
+        assert u.hz_to_mhz(1_000_000_000) == 1000
+
+    def test_power(self):
+        assert u.mw_to_w(3089.1) == pytest.approx(3.0891)
+        assert u.w_to_mw(0.165) == pytest.approx(165)
+
+    def test_time(self):
+        assert u.us_to_s(470) == pytest.approx(470e-6)
+        assert u.s_to_us(0.001) == pytest.approx(1000)
+
+    def test_bits_bytes(self):
+        assert u.bytes_to_bits(1500) == 12_000
+        assert u.bits_to_bytes(8) == 1
+
+    def test_roundtrips(self):
+        assert u.bps_to_mbps(u.mbps_to_bps(7.5)) == pytest.approx(7.5)
+        assert u.bits_to_bytes(u.bytes_to_bits(123)) == 123
+
+
+class TestCyclesTime:
+    def test_cycles_to_seconds(self):
+        assert u.cycles_to_seconds(125_000_000, 125e6) == pytest.approx(1.0)
+
+    def test_seconds_to_cycles(self):
+        assert u.seconds_to_cycles(2.0, 1e9) == pytest.approx(2e9)
+
+    def test_zero_clock_raises(self):
+        with pytest.raises(ValueError):
+            u.cycles_to_seconds(100, 0)
+        with pytest.raises(ValueError):
+            u.seconds_to_cycles(1, -1)
+
+
+class TestJoules:
+    def test_energy(self):
+        assert u.joules(3.0891, 2.0) == pytest.approx(6.1782)
+
+    def test_negative_duration_raises(self):
+        with pytest.raises(ValueError):
+            u.joules(1.0, -0.1)

@@ -1,0 +1,53 @@
+"""The oracle itself: filtering must be a superset of exact answers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.spatial import bruteforce as bf
+from repro.spatial.geometry import point_segment_distance_sq
+from repro.spatial.mbr import MBR
+
+
+class TestFilterRefineContainment:
+    def test_range_filter_superset_of_range_query(self, pa_small, rng):
+        ext = pa_small.extent
+        for _ in range(20):
+            w = ext.width * rng.uniform(0.005, 0.1)
+            h = ext.height * rng.uniform(0.005, 0.1)
+            x = rng.uniform(ext.xmin, ext.xmax - w)
+            y = rng.uniform(ext.ymin, ext.ymax - h)
+            rect = MBR(x, y, x + w, y + h)
+            cand = set(bf.range_filter(pa_small, rect).tolist())
+            ans = set(bf.range_query(pa_small, rect).tolist())
+            assert ans <= cand
+
+    def test_point_filter_superset_of_point_query(self, pa_small):
+        for i in range(0, pa_small.size, max(1, pa_small.size // 30)):
+            px, py = float(pa_small.x2[i]), float(pa_small.y2[i])
+            cand = set(bf.point_filter(pa_small, px, py).tolist())
+            ans = set(bf.point_query(pa_small, px, py).tolist())
+            assert ans <= cand
+            assert i in ans  # the anchoring segment itself matches
+
+    def test_nearest_neighbor_is_global_minimum(self, pa_small, rng):
+        ext = pa_small.extent
+        for _ in range(10):
+            px = rng.uniform(ext.xmin, ext.xmax)
+            py = rng.uniform(ext.ymin, ext.ymax)
+            nn = bf.nearest_neighbor(pa_small, px, py)
+            d_nn = point_segment_distance_sq(px, py, *pa_small.segment(nn))
+            sample = rng.integers(0, pa_small.size, 200)
+            for j in sample:
+                d_j = point_segment_distance_sq(px, py, *pa_small.segment(int(j)))
+                assert d_nn <= d_j + 1e-12
+
+    def test_range_query_empty_window_far_away(self, pa_small):
+        ext = pa_small.extent
+        rect = MBR(ext.xmax + 1, ext.ymax + 1, ext.xmax + 2, ext.ymax + 2)
+        assert len(bf.range_query(pa_small, rect)) == 0
+        assert len(bf.range_filter(pa_small, rect)) == 0
+
+    def test_whole_extent_window_returns_all(self, pa_small):
+        got = bf.range_query(pa_small, pa_small.extent)
+        assert np.array_equal(got, np.arange(pa_small.size))

@@ -1,0 +1,224 @@
+"""Budgeted subtree extraction (paper Figure 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.trace import OpCounter
+from repro.spatial import bruteforce as bf
+from repro.spatial.extract import Extraction, extract_range, max_entries_within_budget
+from repro.spatial.mbr import MBR
+from repro.spatial.rtree import PackedRTree
+
+
+def _some_window(ds, frac=0.05, anchor_segment=None):
+    """A window anchored on a segment midpoint, so it is never empty."""
+    i = ds.size // 2 if anchor_segment is None else anchor_segment
+    cx = float(ds.x1[i] + ds.x2[i]) / 2.0
+    cy = float(ds.y1[i] + ds.y2[i]) / 2.0
+    ext = ds.extent
+    w, h = ext.width * frac, ext.height * frac
+    return MBR(cx - w, cy - h, cx + w, cy + h)
+
+
+class TestBudgetSizing:
+    def test_zero_budget(self, pa_small_tree):
+        assert max_entries_within_budget(pa_small_tree, 0) == 0
+        assert max_entries_within_budget(pa_small_tree, -5) == 0
+
+    def test_everything_fits_with_huge_budget(self, pa_small, pa_small_tree):
+        n = max_entries_within_budget(pa_small_tree, 1 << 40)
+        assert n == pa_small.size
+
+    def test_monotone_in_budget(self, pa_small_tree):
+        sizes = [
+            max_entries_within_budget(pa_small_tree, b)
+            for b in (0, 1_000, 10_000, 100_000, 1_000_000)
+        ]
+        assert sizes == sorted(sizes)
+
+    def test_result_actually_fits_and_is_maximal(self, pa_small_tree):
+        t = pa_small_tree
+        for budget in (5_000, 50_000, 123_456):
+            n = max_entries_within_budget(t, budget)
+            total = (
+                n * t.costs.segment_record_bytes
+                + t.estimated_index_bytes_for_entries(n)
+            )
+            assert total <= budget
+            if n < len(t.entry_ids):
+                bigger = (
+                    (n + 1) * t.costs.segment_record_bytes
+                    + t.estimated_index_bytes_for_entries(n + 1)
+                )
+                assert bigger > budget
+
+
+class TestExtractRange:
+    def test_covers_candidates(self, pa_small, pa_small_tree):
+        rect = _some_window(pa_small)
+        candidates = pa_small_tree.range_filter(rect)
+        assert len(candidates) > 0
+        ext = extract_range(
+            pa_small_tree, candidates, *rect.center(), budget_bytes=512 * 1024
+        )
+        assert ext.fits
+        shipped = set(ext.global_ids.tolist())
+        assert set(candidates.tolist()) <= shipped
+
+    def test_respects_budget(self, pa_small, pa_small_tree):
+        rect = _some_window(pa_small, frac=0.02)
+        candidates = pa_small_tree.range_filter(rect)
+        for budget in (64 * 1024, 256 * 1024):
+            ext = extract_range(
+                pa_small_tree, candidates, *rect.center(), budget_bytes=budget
+            )
+            if ext.fits:
+                assert ext.total_bytes <= budget
+
+    def test_ships_contiguous_entry_range(self, pa_small, pa_small_tree):
+        rect = _some_window(pa_small, frac=0.03)
+        candidates = pa_small_tree.range_filter(rect)
+        ext = extract_range(
+            pa_small_tree, candidates, *rect.center(), budget_bytes=512 * 1024
+        )
+        expected = pa_small_tree.entry_ids[ext.entry_lo : ext.entry_hi]
+        assert np.array_equal(ext.global_ids, expected)
+
+    def test_fills_budget_with_proximate_items(self, pa_small, pa_small_tree):
+        """The shipment should be larger than the bare candidate run —
+        'certain nodes on either side of it based on how much data the
+        client can hold'."""
+        rect = _some_window(pa_small, frac=0.02)
+        candidates = pa_small_tree.range_filter(rect)
+        budget = 512 * 1024
+        ext = extract_range(
+            pa_small_tree, candidates, *rect.center(), budget_bytes=budget
+        )
+        assert ext.n_entries > len(candidates)
+        assert ext.n_entries == max_entries_within_budget(pa_small_tree, budget)
+
+    def test_too_small_budget_does_not_fit(self, pa_small, pa_small_tree):
+        rect = _some_window(pa_small, frac=0.2)
+        candidates = pa_small_tree.range_filter(rect)
+        assert len(candidates) > 10
+        ext = extract_range(
+            pa_small_tree, candidates, *rect.center(), budget_bytes=500
+        )
+        assert not ext.fits
+        assert ext.n_entries == 0
+        assert len(ext.global_ids) == 0
+
+    def test_empty_candidates_anchor_on_query(self, pa_small, pa_small_tree):
+        ext_box = pa_small.extent
+        # A point in the extent corner region — no candidates.
+        px, py = ext_box.xmin + 1e-9, ext_box.ymin + 1e-9
+        ext = extract_range(
+            pa_small_tree,
+            np.empty(0, dtype=np.int64),
+            px,
+            py,
+            budget_bytes=128 * 1024,
+        )
+        assert ext.fits
+        assert ext.n_entries > 0
+        # The shipment should be anchored near the query point: the closest
+        # shipped segment must be reasonably near.
+        sub = pa_small.subset(ext.global_ids)
+        d = min(
+            np.hypot(sub.x1 - px, sub.y1 - py).min(),
+            np.hypot(sub.x2 - px, sub.y2 - py).min(),
+        )
+        all_d = min(
+            np.hypot(pa_small.x1 - px, pa_small.y1 - py).min(),
+            np.hypot(pa_small.x2 - px, pa_small.y2 - py).min(),
+        )
+        assert d <= all_d * 10 + 0.05 * pa_small.extent.width
+
+    def test_server_work_is_counted(self, pa_small, pa_small_tree):
+        rect = _some_window(pa_small)
+        candidates = pa_small_tree.range_filter(rect)
+        counter = OpCounter(record_trace=False)
+        ext = extract_range(
+            pa_small_tree, candidates, *rect.center(), 512 * 1024, counter
+        )
+        assert counter.entries_scanned == ext.n_entries
+        assert counter.nodes_visited > 0
+
+    def test_byte_accounting(self, pa_small, pa_small_tree):
+        rect = _some_window(pa_small)
+        candidates = pa_small_tree.range_filter(rect)
+        ext = extract_range(
+            pa_small_tree, candidates, *rect.center(), budget_bytes=512 * 1024
+        )
+        t = pa_small_tree
+        assert ext.data_bytes == ext.n_entries * t.costs.segment_record_bytes
+        assert ext.index_bytes == t.estimated_index_bytes_for_entries(ext.n_entries)
+        assert ext.total_bytes == ext.data_bytes + ext.index_bytes
+
+    def test_local_answer_equals_master_answer(self, pa_small, pa_small_tree):
+        """Answering the anchoring query on the shipped subset must yield
+        the master answer — the shipment covers all candidates."""
+        rect = _some_window(pa_small, frac=0.03)
+        candidates = pa_small_tree.range_filter(rect)
+        ext = extract_range(
+            pa_small_tree, candidates, *rect.center(), budget_bytes=1 << 20
+        )
+        sub = pa_small.subset(ext.global_ids)
+        local = bf.range_query(sub, rect)
+        global_answer = bf.range_query(pa_small, rect)
+        mapped = np.sort(ext.global_ids[local])
+        assert np.array_equal(mapped, np.sort(global_answer))
+
+
+class TestCoverageRect:
+    def test_anchor_covered_range_grows(self, pa_small, pa_small_tree):
+        from repro.spatial.extract import coverage_rect
+
+        rect = _some_window(pa_small, frac=0.02)
+        candidates = pa_small_tree.range_filter(rect)
+        ext = extract_range(
+            pa_small_tree, candidates, *rect.center(), budget_bytes=1 << 19
+        )
+        cov = coverage_rect(pa_small_tree, rect, ext.entry_lo, ext.entry_hi)
+        # Coverage includes (at least) the anchoring window.
+        assert cov.contains(rect)
+
+    def test_coverage_guarantee_holds(self, pa_small, pa_small_tree):
+        """Every master segment whose MBR intersects the coverage rect lies
+        inside the shipped entry range — the local-answer guarantee."""
+        from repro.spatial.extract import coverage_rect
+
+        rect = _some_window(pa_small, frac=0.02)
+        candidates = pa_small_tree.range_filter(rect)
+        ext = extract_range(
+            pa_small_tree, candidates, *rect.center(), budget_bytes=1 << 19
+        )
+        cov = coverage_rect(pa_small_tree, rect, ext.entry_lo, ext.entry_hi)
+        ids = bf.range_filter(pa_small, cov)
+        pos = pa_small_tree.entry_positions_for_ids(ids)
+        assert (pos >= ext.entry_lo).all()
+        assert (pos < ext.entry_hi).all()
+
+    def test_whole_dataset_range_covers_everything(self, pa_small, pa_small_tree):
+        from repro.spatial.extract import coverage_rect
+
+        rect = _some_window(pa_small, frac=0.01)
+        cov = coverage_rect(pa_small_tree, rect, 0, pa_small.size)
+        assert cov.contains(pa_small.extent) or cov == pa_small.extent
+
+    def test_probe_charged(self, pa_small, pa_small_tree):
+        from repro.spatial.extract import coverage_rect
+
+        rect = _some_window(pa_small, frac=0.02)
+        candidates = pa_small_tree.range_filter(rect)
+        ext = extract_range(
+            pa_small_tree, candidates, *rect.center(), budget_bytes=1 << 19
+        )
+        calls = []
+        coverage_rect(
+            pa_small_tree, rect, ext.entry_lo, ext.entry_hi,
+            probe=lambda: calls.append(1),
+        )
+        assert len(calls) >= 2  # at least the initial check plus the search

@@ -1,0 +1,141 @@
+"""Unit and property tests for the scalar geometric predicates."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.spatial import geometry as g
+from repro.spatial.mbr import MBR
+
+coords = st.floats(
+    min_value=-1000, max_value=1000, allow_nan=False, allow_infinity=False
+)
+
+
+class TestPointSegmentDistance:
+    def test_perpendicular_foot_on_segment(self):
+        # Segment (0,0)-(10,0); point above its middle.
+        assert g.point_segment_distance(5, 3, 0, 0, 10, 0) == pytest.approx(3.0)
+
+    def test_beyond_endpoint_uses_endpoint(self):
+        # The paper's definition: distance to the closest endpoint when the
+        # perpendicular misses the segment.
+        assert g.point_segment_distance(13, 4, 0, 0, 10, 0) == pytest.approx(5.0)
+        assert g.point_segment_distance(-3, 4, 0, 0, 10, 0) == pytest.approx(5.0)
+
+    def test_degenerate_segment(self):
+        assert g.point_segment_distance(3, 4, 0, 0, 0, 0) == pytest.approx(5.0)
+
+    def test_point_on_segment_is_zero(self):
+        assert g.point_segment_distance(5, 5, 0, 0, 10, 10) == pytest.approx(0.0)
+
+    @given(coords, coords, coords, coords, coords, coords)
+    def test_distance_at_most_endpoint_distance(self, px, py, x1, y1, x2, y2):
+        d = g.point_segment_distance_sq(px, py, x1, y1, x2, y2)
+        d1 = (px - x1) ** 2 + (py - y1) ** 2
+        d2 = (px - x2) ** 2 + (py - y2) ** 2
+        assert d <= min(d1, d2) + 1e-6 * max(1.0, min(d1, d2))
+
+    @given(coords, coords, coords, coords, coords, coords)
+    def test_distance_symmetric_in_endpoints(self, px, py, x1, y1, x2, y2):
+        a = g.point_segment_distance_sq(px, py, x1, y1, x2, y2)
+        b = g.point_segment_distance_sq(px, py, x2, y2, x1, y1)
+        assert a == pytest.approx(b, rel=1e-9, abs=1e-9)
+
+
+class TestSegmentContainsPoint:
+    def test_endpoint_hits(self):
+        assert g.segment_contains_point(1, 2, 1, 2, 5, 6)
+        assert g.segment_contains_point(5, 6, 1, 2, 5, 6)
+
+    def test_midpoint_hits(self):
+        assert g.segment_contains_point(3, 4, 1, 2, 5, 6)
+
+    def test_near_miss_with_eps(self):
+        assert not g.segment_contains_point(3, 4.1, 1, 2, 5, 6)
+        assert g.segment_contains_point(3, 4.05, 1, 2, 5, 6, eps=0.1)
+
+
+class TestSegmentsIntersect:
+    def test_proper_crossing(self):
+        assert g.segments_intersect(0, 0, 2, 2, 0, 2, 2, 0)
+
+    def test_shared_endpoint(self):
+        assert g.segments_intersect(0, 0, 1, 1, 1, 1, 2, 0)
+
+    def test_t_junction(self):
+        assert g.segments_intersect(0, 0, 2, 0, 1, 0, 1, 5)
+
+    def test_collinear_overlap(self):
+        assert g.segments_intersect(0, 0, 2, 0, 1, 0, 3, 0)
+
+    def test_collinear_disjoint(self):
+        assert not g.segments_intersect(0, 0, 1, 0, 2, 0, 3, 0)
+
+    def test_parallel_disjoint(self):
+        assert not g.segments_intersect(0, 0, 1, 0, 0, 1, 1, 1)
+
+    def test_near_miss(self):
+        assert not g.segments_intersect(0, 0, 1, 1, 1.01, 1, 2, 0)
+
+    @given(coords, coords, coords, coords, coords, coords, coords, coords)
+    def test_symmetric(self, ax1, ay1, ax2, ay2, bx1, by1, bx2, by2):
+        r1 = g.segments_intersect(ax1, ay1, ax2, ay2, bx1, by1, bx2, by2)
+        r2 = g.segments_intersect(bx1, by1, bx2, by2, ax1, ay1, ax2, ay2)
+        assert r1 == r2
+
+
+class TestSegmentIntersectsRect:
+    RECT = MBR(0, 0, 10, 10)
+
+    def test_endpoint_inside(self):
+        assert g.segment_intersects_rect(5, 5, 20, 20, self.RECT)
+
+    def test_both_outside_crossing(self):
+        assert g.segment_intersects_rect(-5, 5, 15, 5, self.RECT)
+
+    def test_both_outside_diagonal_crossing(self):
+        assert g.segment_intersects_rect(-1, 5, 5, 11, self.RECT)
+
+    def test_corner_graze_miss(self):
+        # Passes near the corner but outside: MBR filter would accept it,
+        # exact refinement must reject — the case that distinguishes the
+        # two phases.
+        # Segment (9, 11.5)-(11.5, 9): its MBR (9, 9, 11.5, 11.5) overlaps
+        # the window, but the segment passes outside the (10, 10) corner.
+        assert MBR.from_segment(9, 11.5, 11.5, 9).intersects(self.RECT)
+        assert not g.segment_intersects_rect(9, 11.5, 11.5, 9, self.RECT)
+
+    def test_corner_cut(self):
+        # Crosses the top-left corner region: enters through the left edge
+        # at y = 9.5 even though both endpoints are outside.
+        assert g.segment_intersects_rect(-1, 10.5, 0.5, 9, self.RECT)
+
+    def test_fully_outside_one_side(self):
+        assert not g.segment_intersects_rect(11, 0, 12, 10, self.RECT)
+
+    def test_touching_edge(self):
+        assert g.segment_intersects_rect(10, 2, 15, 2, self.RECT)
+
+    def test_collinear_with_edge(self):
+        assert g.segment_intersects_rect(2, 10, 8, 10, self.RECT)
+
+    def test_fully_inside(self):
+        assert g.segment_intersects_rect(1, 1, 2, 2, self.RECT)
+
+    @given(coords, coords, coords, coords)
+    def test_mbr_filter_is_sound(self, x1, y1, x2, y2):
+        """Exact intersection implies MBR intersection (filter recall)."""
+        if g.segment_intersects_rect(x1, y1, x2, y2, self.RECT):
+            assert MBR.from_segment(x1, y1, x2, y2).intersects(self.RECT)
+
+
+class TestSegmentLength:
+    def test_pythagorean(self):
+        assert g.segment_length(0, 0, 3, 4) == pytest.approx(5.0)
+
+    def test_zero(self):
+        assert g.segment_length(1, 1, 1, 1) == 0.0

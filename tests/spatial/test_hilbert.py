@@ -1,0 +1,116 @@
+"""Hilbert curve: bijection, locality, vectorized/scalar agreement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.spatial.hilbert import d_to_xy, hilbert_sort_keys, xy_to_d
+from repro.spatial.mbr import MBR
+
+
+class TestScalarBijection:
+    @pytest.mark.parametrize("order", [1, 2, 3, 4])
+    def test_full_bijection(self, order):
+        n = 1 << order
+        seen = set()
+        for x in range(n):
+            for y in range(n):
+                d = xy_to_d(order, x, y)
+                assert d_to_xy(order, d) == (x, y)
+                seen.add(d)
+        assert seen == set(range(n * n))
+
+    @given(st.integers(min_value=1, max_value=12), st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_roundtrip_random(self, order, data):
+        n = 1 << order
+        x = data.draw(st.integers(min_value=0, max_value=n - 1))
+        y = data.draw(st.integers(min_value=0, max_value=n - 1))
+        assert d_to_xy(order, xy_to_d(order, x, y)) == (x, y)
+
+    def test_order_one_canonical_curve(self):
+        # The canonical order-1 Hilbert curve: (0,0)->(0,1)->(1,1)->(1,0).
+        assert [d_to_xy(1, d) for d in range(4)] == [(0, 0), (0, 1), (1, 1), (1, 0)]
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            xy_to_d(2, 4, 0)
+        with pytest.raises(ValueError):
+            xy_to_d(2, 0, -1)
+        with pytest.raises(ValueError):
+            d_to_xy(2, 16)
+
+
+class TestLocality:
+    @pytest.mark.parametrize("order", [2, 4, 6])
+    def test_consecutive_indices_are_grid_neighbors(self, order):
+        """The curve's defining property: successive cells are adjacent."""
+        n = 1 << order
+        px, py = d_to_xy(order, 0)
+        for d in range(1, n * n):
+            x, y = d_to_xy(order, d)
+            assert abs(x - px) + abs(y - py) == 1, f"jump at d={d}"
+            px, py = x, y
+
+    def test_locality_beats_row_major(self):
+        """Mean spatial distance between index-adjacent cells must be 1 for
+        Hilbert; row-major order jumps a full row width at wrap points, so
+        its mean exceeds 1 — the property that makes packed leaves tight."""
+        order = 5
+        n = 1 << order
+        hilbert_total = sum(
+            abs(d_to_xy(order, d)[0] - d_to_xy(order, d - 1)[0])
+            + abs(d_to_xy(order, d)[1] - d_to_xy(order, d - 1)[1])
+            for d in range(1, n * n)
+        )
+        row_major_total = sum(
+            (1 if (i % n) != 0 else (n - 1) + 1) for i in range(1, n * n)
+        )
+        assert hilbert_total < row_major_total
+
+
+class TestVectorized:
+    def test_matches_scalar_on_grid_points(self, rng):
+        order = 8
+        n = 1 << order
+        extent = MBR(0.0, 0.0, 1.0, 1.0)
+        xs = rng.random(500)
+        ys = rng.random(500)
+        keys = hilbert_sort_keys(xs, ys, extent, order=order)
+        for i in range(0, 500, 17):
+            gx = min(int(xs[i] * n), n - 1)
+            gy = min(int(ys[i] * n), n - 1)
+            assert int(keys[i]) == xy_to_d(order, gx, gy)
+
+    def test_extent_scaling(self):
+        """Points on the extent boundary map into the grid, not past it."""
+        extent = MBR(-10.0, 5.0, 30.0, 25.0)
+        xs = np.array([-10.0, 30.0, 10.0])
+        ys = np.array([5.0, 25.0, 15.0])
+        keys = hilbert_sort_keys(xs, ys, extent, order=10)
+        assert (keys < np.uint64(1) << np.uint64(20)).all()
+
+    def test_bad_order_raises(self):
+        with pytest.raises(ValueError):
+            hilbert_sort_keys(np.zeros(1), np.zeros(1), MBR(0, 0, 1, 1), order=0)
+        with pytest.raises(ValueError):
+            hilbert_sort_keys(np.zeros(1), np.zeros(1), MBR(0, 0, 1, 1), order=32)
+
+    def test_degenerate_extent_raises(self):
+        with pytest.raises(ValueError):
+            hilbert_sort_keys(np.zeros(1), np.zeros(1), MBR(0, 0, 0, 1))
+
+    def test_sorting_random_points_groups_neighbors(self, rng):
+        """After a Hilbert sort, consecutive points are spatially close on
+        average — the property the packed bulk-load exploits."""
+        extent = MBR(0.0, 0.0, 1.0, 1.0)
+        xs = rng.random(2000)
+        ys = rng.random(2000)
+        keys = hilbert_sort_keys(xs, ys, extent)
+        order_idx = np.argsort(keys)
+        sx, sy = xs[order_idx], ys[order_idx]
+        sorted_mean = np.mean(np.hypot(np.diff(sx), np.diff(sy)))
+        unsorted_mean = np.mean(np.hypot(np.diff(xs), np.diff(ys)))
+        assert sorted_mean < unsorted_mean / 5

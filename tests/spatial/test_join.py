@@ -1,0 +1,129 @@
+"""Spatial join between two line-segment layers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.tiger import waterways_dataset
+from repro.sim.trace import OpCounter
+from repro.spatial.join import bruteforce_join, refine_join, rtree_join
+from repro.spatial.rtree import PackedRTree
+
+from tests.conftest import make_segments
+
+
+@pytest.fixture(scope="module")
+def layers(pa_small):
+    rivers = waterways_dataset(pa_small, n_rivers=6, seed=5)
+    return (
+        pa_small,
+        rivers,
+        PackedRTree.build(pa_small),
+        PackedRTree.build(rivers),
+    )
+
+
+class TestJoinCorrectness:
+    def test_filter_then_refine_matches_oracle(self, layers):
+        roads, rivers, ta, tb = layers
+        candidates = rtree_join(ta, tb)
+        result = refine_join(ta, tb, candidates)
+        oracle = bruteforce_join(roads, rivers)
+        got = {tuple(p) for p in result.tolist()}
+        want = {tuple(p) for p in oracle.tolist()}
+        assert got == want
+        assert len(want) > 0  # rivers must actually cross roads
+
+    def test_candidates_are_mbr_pairs(self, layers):
+        roads, rivers, ta, tb = layers
+        candidates = rtree_join(ta, tb)
+        # Every candidate pair's MBRs intersect; spot-check a sample.
+        for ia, ib in candidates[:: max(1, len(candidates) // 50)]:
+            assert roads.segment_mbr(int(ia)).intersects(
+                rivers.segment_mbr(int(ib))
+            )
+
+    def test_candidates_superset_of_answers(self, layers):
+        roads, rivers, ta, tb = layers
+        candidates = {tuple(p) for p in rtree_join(ta, tb).tolist()}
+        oracle = {tuple(p) for p in bruteforce_join(roads, rivers).tolist()}
+        assert oracle <= candidates
+
+    def test_symmetric_cardinality(self, layers):
+        roads, rivers, ta, tb = layers
+        ab = refine_join(ta, tb, rtree_join(ta, tb))
+        ba = refine_join(tb, ta, rtree_join(tb, ta))
+        assert len(ab) == len(ba)
+        assert {tuple(p) for p in ab.tolist()} == {
+            (b, a) for a, b in ba.tolist()
+        }
+
+    def test_disjoint_layers_empty(self, rng):
+        a = make_segments(rng, 50, extent=(0, 0, 100, 100))
+        b = make_segments(rng, 50, extent=(1000, 1000, 1100, 1100))
+        got = rtree_join(PackedRTree.build(a), PackedRTree.build(b))
+        assert got.shape == (0, 2)
+
+    def test_mixed_heights(self, rng):
+        """Trees of different heights exercise the mixed-level descent."""
+        big = make_segments(rng, 900)
+        small = make_segments(rng, 12)
+        ta = PackedRTree.build(big, node_capacity=5)   # tall
+        tb = PackedRTree.build(small, node_capacity=25)  # single leaf
+        assert ta.height > tb.height
+        candidates = rtree_join(ta, tb)
+        got = refine_join(ta, tb, candidates)
+        want = bruteforce_join(big, small)
+        assert {tuple(p) for p in got.tolist()} == {
+            tuple(p) for p in want.tolist()
+        }
+
+    def test_self_join_contains_shared_endpoints(self, rng):
+        ds = make_segments(rng, 80)
+        tree = PackedRTree.build(ds, node_capacity=6)
+        pairs = refine_join(tree, tree, rtree_join(tree, tree))
+        got = {tuple(p) for p in pairs.tolist()}
+        # Reflexive pairs: every segment intersects itself.
+        for i in range(ds.size):
+            assert (i, i) in got
+
+
+class TestJoinInstrumentation:
+    def test_counters_populate(self, layers):
+        _, _, ta, tb = layers
+        counter = OpCounter(record_trace=False)
+        candidates = rtree_join(ta, tb, counter)
+        assert counter.nodes_visited > 0
+        assert counter.mbr_tests > 0
+        refine_counter = OpCounter(record_trace=False)
+        refine_join(ta, tb, candidates, refine_counter)
+        assert refine_counter.range_refine_tests == len(candidates)
+        assert refine_counter.results_produced > 0
+
+    def test_sync_traversal_beats_nested_loop(self, layers):
+        """The join must not degenerate into |A| x |B| MBR tests."""
+        roads, rivers, ta, tb = layers
+        counter = OpCounter(record_trace=False)
+        rtree_join(ta, tb, counter)
+        assert counter.mbr_tests < roads.size * rivers.size / 10
+
+    def test_empty_refine(self, layers):
+        _, _, ta, tb = layers
+        out = refine_join(ta, tb, np.empty((0, 2), dtype=np.int64))
+        assert out.shape == (0, 2)
+
+
+class TestWaterways:
+    def test_spans_extent(self, pa_small):
+        rivers = waterways_dataset(pa_small, n_rivers=4, seed=7)
+        assert rivers.extent.height >= pa_small.extent.height * 0.9
+
+    def test_deterministic(self, pa_small):
+        a = waterways_dataset(pa_small, seed=9)
+        b = waterways_dataset(pa_small, seed=9)
+        assert np.array_equal(a.x1, b.x1)
+
+    def test_invalid_count(self, pa_small):
+        with pytest.raises(ValueError):
+            waterways_dataset(pa_small, n_rivers=0)

@@ -1,0 +1,160 @@
+"""Unit and property tests for the MBR value type."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.spatial.mbr import MBR
+
+coords = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def mbrs(draw):
+    x1, x2 = sorted((draw(coords), draw(coords)))
+    y1, y2 = sorted((draw(coords), draw(coords)))
+    return MBR(x1, y1, x2, y2)
+
+
+class TestConstruction:
+    def test_valid(self):
+        b = MBR(0, 1, 2, 3)
+        assert b.as_tuple() == (0, 1, 2, 3)
+
+    def test_degenerate_point_is_legal(self):
+        b = MBR.from_point(5.0, -3.0)
+        assert b.area() == 0.0
+        assert b.contains_point(5.0, -3.0)
+
+    def test_malformed_raises(self):
+        with pytest.raises(ValueError):
+            MBR(1, 0, 0, 1)
+        with pytest.raises(ValueError):
+            MBR(0, 1, 1, 0)
+
+    def test_from_segment_orders_endpoints(self):
+        b = MBR.from_segment(3, 4, 1, 2)
+        assert b.as_tuple() == (1, 2, 3, 4)
+
+    def test_union_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            MBR.union_of([])
+
+    def test_union_of_covers_all(self):
+        boxes = [MBR(0, 0, 1, 1), MBR(2, -1, 3, 0.5), MBR(-5, 0, 0, 2)]
+        u = MBR.union_of(boxes)
+        assert all(u.contains(b) for b in boxes)
+        assert u.as_tuple() == (-5, -1, 3, 2)
+
+    def test_iter_yields_tuple_order(self):
+        assert list(MBR(1, 2, 3, 4)) == [1, 2, 3, 4]
+
+
+class TestPredicates:
+    def test_intersects_overlapping(self):
+        assert MBR(0, 0, 2, 2).intersects(MBR(1, 1, 3, 3))
+
+    def test_intersects_touching_edge(self):
+        assert MBR(0, 0, 1, 1).intersects(MBR(1, 0, 2, 1))
+
+    def test_intersects_touching_corner(self):
+        assert MBR(0, 0, 1, 1).intersects(MBR(1, 1, 2, 2))
+
+    def test_disjoint(self):
+        assert not MBR(0, 0, 1, 1).intersects(MBR(1.01, 0, 2, 1))
+        assert not MBR(0, 0, 1, 1).intersects(MBR(0, 1.01, 1, 2))
+
+    def test_contains_point_boundary(self):
+        b = MBR(0, 0, 1, 1)
+        assert b.contains_point(0, 0)
+        assert b.contains_point(1, 1)
+        assert not b.contains_point(1.0001, 0.5)
+
+    def test_contains_self(self):
+        b = MBR(0, 0, 1, 1)
+        assert b.contains(b)
+
+    def test_contains_strict_subset(self):
+        assert MBR(0, 0, 10, 10).contains(MBR(1, 1, 2, 2))
+        assert not MBR(1, 1, 2, 2).contains(MBR(0, 0, 10, 10))
+
+    @given(mbrs(), mbrs())
+    def test_intersects_symmetric(self, a, b):
+        assert a.intersects(b) == b.intersects(a)
+
+    @given(mbrs(), mbrs())
+    def test_contains_implies_intersects(self, a, b):
+        if a.contains(b):
+            assert a.intersects(b)
+
+
+class TestMeasures:
+    def test_area_and_margin(self):
+        b = MBR(0, 0, 3, 4)
+        assert b.area() == 12
+        assert b.margin() == 7
+        assert b.center() == (1.5, 2.0)
+
+    def test_union_commutes(self):
+        a, b = MBR(0, 0, 1, 1), MBR(2, 2, 3, 3)
+        assert a.union(b) == b.union(a)
+
+    @given(mbrs(), mbrs())
+    def test_union_contains_operands(self, a, b):
+        u = a.union(b)
+        assert u.contains(a) and u.contains(b)
+
+    @given(mbrs(), mbrs())
+    def test_union_area_superadditive_when_disjoint(self, a, b):
+        if not a.intersects(b):
+            assert a.union(b).area() >= a.area() + b.area() - 1e-6
+
+    def test_intersection_area(self):
+        assert MBR(0, 0, 2, 2).intersection_area(MBR(1, 1, 3, 3)) == 1.0
+        assert MBR(0, 0, 1, 1).intersection_area(MBR(5, 5, 6, 6)) == 0.0
+
+    @given(mbrs(), mbrs())
+    def test_intersection_area_bounded(self, a, b):
+        ia = a.intersection_area(b)
+        assert 0 <= ia <= min(a.area(), b.area()) + 1e-9
+
+    def test_expand(self):
+        assert MBR(0, 0, 1, 1).expand(1).as_tuple() == (-1, -1, 2, 2)
+
+    def test_expand_negative_raises(self):
+        with pytest.raises(ValueError):
+            MBR(0, 0, 1, 1).expand(-0.1)
+
+
+class TestDistances:
+    def test_mindist_inside_is_zero(self):
+        assert MBR(0, 0, 2, 2).mindist(1, 1) == 0.0
+
+    def test_mindist_axis_aligned(self):
+        assert MBR(0, 0, 1, 1).mindist(3, 0.5) == pytest.approx(2.0)
+        assert MBR(0, 0, 1, 1).mindist(0.5, -4) == pytest.approx(4.0)
+
+    def test_mindist_corner(self):
+        assert MBR(0, 0, 1, 1).mindist(4, 5) == pytest.approx(math.hypot(3, 4))
+
+    @given(mbrs(), coords, coords)
+    def test_mindist_le_maxdist(self, b, x, y):
+        assert b.mindist_sq(x, y) <= b.maxdist_sq(x, y) + 1e-9
+
+    @given(mbrs(), coords, coords)
+    def test_mindist_is_lower_bound_to_corners(self, b, x, y):
+        """MINDIST never exceeds the distance to any point of the box —
+        spot-check with the four corners and the center."""
+        md = b.mindist_sq(x, y)
+        pts = [
+            (b.xmin, b.ymin), (b.xmin, b.ymax),
+            (b.xmax, b.ymin), (b.xmax, b.ymax), b.center(),
+        ]
+        for px, py in pts:
+            d = (px - x) ** 2 + (py - y) ** 2
+            assert md <= d + 1e-6 * max(1.0, abs(d))

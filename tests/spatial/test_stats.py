@@ -1,0 +1,57 @@
+"""Tree statistics and the invariant checker's own sensitivity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.spatial.rtree import PackedRTree
+from repro.spatial.stats import check_invariants, tree_stats
+
+from tests.conftest import make_segments
+
+
+class TestTreeStats:
+    def test_counts(self, pa_small, pa_small_tree):
+        s = tree_stats(pa_small_tree)
+        assert s.n_segments == pa_small.size
+        assert s.n_nodes == pa_small_tree.node_count
+        assert s.height == pa_small_tree.height
+        assert s.index_bytes == pa_small_tree.index_bytes()
+        assert s.data_bytes == pa_small.data_bytes()
+
+    def test_packed_fill_factor_near_one(self, pa_small_tree):
+        s = tree_stats(pa_small_tree)
+        assert s.fill_factor > 0.95  # packing: only last node per level short
+
+    def test_hilbert_tightens_leaves(self, pa_small):
+        s_sorted = tree_stats(PackedRTree.build(pa_small, sort=True))
+        s_unsorted = tree_stats(PackedRTree.build(pa_small, sort=False))
+        assert s_sorted.leaf_area_ratio < s_unsorted.leaf_area_ratio / 2
+
+    def test_str_mentions_sizes(self, pa_small_tree):
+        text = str(tree_stats(pa_small_tree))
+        assert "segments" in text and "MB" in text
+
+
+class TestInvariantChecker:
+    def test_passes_on_valid_tree(self, rng):
+        check_invariants(PackedRTree.build(make_segments(rng, 500), node_capacity=9))
+
+    def test_detects_corrupted_mbr(self, rng):
+        tree = PackedRTree.build(make_segments(rng, 500), node_capacity=9)
+        tree.node_xmax[tree.root] += 1.0  # widen: no longer exact union
+        with pytest.raises(AssertionError):
+            check_invariants(tree)
+
+    def test_detects_corrupted_permutation(self, rng):
+        tree = PackedRTree.build(make_segments(rng, 500), node_capacity=9)
+        tree.entry_ids[0] = tree.entry_ids[1]  # duplicate id
+        with pytest.raises(AssertionError):
+            check_invariants(tree)
+
+    def test_detects_corrupted_subtree_counts(self, rng):
+        tree = PackedRTree.build(make_segments(rng, 500), node_capacity=9)
+        tree.entries_in_subtree[tree.root] += 1
+        with pytest.raises(AssertionError):
+            check_invariants(tree)
