@@ -1,0 +1,70 @@
+"""Batched grid pricer vs the scalar oracle on the Figure 5 sweep.
+
+The acceptance bar for the batched runtime: pricing the fig5 bandwidth
+sweep (six Table 1 configurations x five bandwidths over a 100-query range
+workload on full-scale PA) through :func:`repro.core.gridrun.price_grid`
+must run at least 3x faster wall-clock than the per-step scalar walk, with
+both engines timed through the run-ledger and agreeing to 1e-9.
+"""
+
+from __future__ import annotations
+
+from repro.api import Session
+from repro.bench.report import summarize_ledger
+from repro.core.executor import Policy
+from repro.core.gridrun import RunLedger
+from repro.core.schemes import ADEQUATE_MEMORY_CONFIGS
+from repro.data.workloads import DEFAULT_RUNS, range_queries
+
+SPEEDUP_FLOOR = 3.0
+
+
+def test_fig5_sweep_batched_speedup(pa_env, save_report):
+    qs = range_queries(pa_env.dataset, DEFAULT_RUNS)
+    policies = Policy.sweep()
+    ledger = RunLedger()
+    session = Session(pa_env, ledger=ledger)
+
+    # Plan once up front so both engines price identical cached plans and
+    # the ledger's price events time pricing alone.
+    for cfg in ADEQUATE_MEMORY_CONFIGS:
+        session.plan(qs, cfg)
+
+    batched = session.run(
+        qs, schemes=ADEQUATE_MEMORY_CONFIGS, policies=policies
+    )
+    scalar = session.run(
+        qs, schemes=ADEQUATE_MEMORY_CONFIGS, policies=policies,
+        engine="scalar",
+    )
+
+    batched_s = sum(
+        r["seconds"]
+        for r in ledger.records
+        if r["event"] == "price" and r["engine"] == "batched"
+    )
+    scalar_s = sum(
+        r["seconds"]
+        for r in ledger.records
+        if r["event"] == "price" and r["engine"] == "scalar"
+    )
+    speedup = scalar_s / batched_s
+    worst = max(
+        abs(b.energy_j - s.energy_j) / s.energy_j
+        for b, s in zip(batched, scalar)
+    )
+    ledger.record(
+        "speedup",
+        label="fig5 bandwidth sweep (full PA)",
+        batched_s=batched_s,
+        scalar_s=scalar_s,
+        speedup=speedup,
+        max_rel_err=worst,
+    )
+    save_report("grid_speedup", summarize_ledger(ledger.records))
+
+    assert worst < 1e-9
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"batched pricing only {speedup:.1f}x faster "
+        f"({batched_s:.3f}s vs {scalar_s:.3f}s scalar)"
+    )

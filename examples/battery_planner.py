@@ -17,10 +17,9 @@ from __future__ import annotations
 
 import argparse
 
-from repro import Policy, quick_environment
+from repro import Policy, Session, quick_environment
 from repro.constants import BANDWIDTHS_MBPS, MBPS
 from repro.core import Scheme, SchemeConfig
-from repro.core.experiment import plan_workload, price_workload
 from repro.data.workloads import nn_queries, point_queries, range_queries
 
 SCHEMES = {
@@ -57,7 +56,14 @@ def main() -> None:
         qs = nn_queries(env.dataset, args.runs)
         schemes = FULL_ONLY
 
-    plans = {k: plan_workload(qs, cfg, env) for k, cfg in schemes.items()}
+    session = Session(env)
+    plans = {k: session.plan(qs, cfg) for k, cfg in schemes.items()}
+    # One batched pricing pass per scheme covers the whole condition grid.
+    grid = [(d, bw) for d in (100.0, 1000.0) for bw in BANDWIDTHS_MBPS]
+    policies = [
+        Policy().with_bandwidth(bw * MBPS).with_distance(d) for d, bw in grid
+    ]
+    priced = {k: session.price(p, policies) for k, p in plans.items()}
 
     print(
         f"{args.runs} {args.query} queries on {env.dataset.name} "
@@ -67,12 +73,8 @@ def main() -> None:
     header = f"{'distance':>9} {'Mbps':>5}  {'battery pick':>12} {'latency pick':>13}  {'queries/charge':>15} {'penalty if wrong':>17}"
     print(header)
     print("-" * len(header))
-    for distance in (100.0, 1000.0):
-        for bw in BANDWIDTHS_MBPS:
-            policy = Policy().with_bandwidth(bw * MBPS).with_distance(distance)
-            cells = {
-                k: price_workload(p, env, policy) for k, p in plans.items()
-            }
+    for idx, (distance, bw) in enumerate(grid):
+            cells = {k: priced[k][idx] for k in plans}
             e_best = min(cells, key=lambda k: cells[k].energy.total())
             c_best = min(cells, key=lambda k: cells[k].cycles.total())
             per_query_j = cells[e_best].energy.total() / args.runs

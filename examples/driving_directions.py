@@ -27,12 +27,9 @@ import math
 import networkx as nx
 import numpy as np
 
-from repro import Policy, quick_environment
+from repro import Policy, Session, quick_environment
 from repro.constants import MBPS
 from repro.core import RangeQuery, Scheme, SchemeConfig
-from repro.core.clientcache import ClientCacheSession
-from repro.core.executor import price_plan
-from repro.core.experiment import plan_workload, price_workload
 from repro.data.tiger import street_name
 from repro.spatial.mbr import MBR
 
@@ -94,6 +91,7 @@ def main() -> None:
     args = ap.parse_args()
 
     env = quick_environment("PA", scale=args.scale)
+    session = Session(env)
     rng = np.random.default_rng(29)
     print(f"building street graph over {env.dataset.size} segments ...")
     g = build_street_graph(env.dataset)
@@ -112,27 +110,22 @@ def main() -> None:
     policy = Policy().with_bandwidth(args.bandwidth * MBPS)
 
     # Strategy A: every window to the server.
-    env.reset_caches()
-    server = price_workload(
-        plan_workload(queries, SERVER, env), env, policy
-    )
+    server = session.price(session.plan(queries, SERVER), policy)[0]
     print(
         f"ask-the-server : {server.energy.total() * 1e3:8.2f} mJ, "
         f"{server.wall_seconds:6.2f} s, {len(queries)} round trips"
     )
 
     # Strategy B: cached regions shipped along the way (section 6.2).
-    env.reset_caches()
-    session = ClientCacheSession(env, args.budget_kb * 1024)
-    plans = session.plan_sequence(queries)
-    results = [price_plan(p, env, policy) for p in plans]
-    total_e = sum(r.energy.total() for r in results)
-    total_s = sum(r.wall_seconds for r in results)
+    plans, cache = session.plan_cached(queries, args.budget_kb * 1024)
+    cached = session.price(plans, policy)[0]
+    total_e = cached.energy.total()
+    total_s = cached.wall_seconds
     print(
         f"cached regions : {total_e * 1e3:8.2f} mJ, {total_s:6.2f} s, "
-        f"{session.misses} shipment(s) + {session.local_hits} local windows"
+        f"{cache.misses} shipment(s) + {cache.local_hits} local windows"
     )
-    hits_per_ship = session.local_hits / max(1, session.misses)
+    hits_per_ship = cache.local_hits / max(1, cache.misses)
     print(
         f"\nEn route, a linear corridor crosses many of the server's "
         f"(blob-shaped) shipment regions: only {hits_per_ship:.1f} local "
@@ -156,19 +149,15 @@ def main() -> None:
                     dest[0] + dx + half, dest[1] + dy + half)
             )
         )
-    misses_before = session.misses
-    browse_plans = session.plan_sequence(browse)
-    browse_results = [price_plan(p, env, policy) for p in browse_plans]
-    browse_e = sum(r.energy.total() for r in browse_results)
-    env.reset_caches()
-    browse_server = price_workload(
-        plan_workload(browse, SERVER, env), env, policy
-    )
+    misses_before = cache.misses
+    browse_plans = cache.plan_sequence(browse)
+    browse_e = session.price(browse_plans, policy)[0].energy.total()
+    browse_server = session.price(session.plan(browse, SERVER), policy)[0]
     print(
         f"\nbrowsing 80 windows around the destination:\n"
         f"  ask-the-server : {browse_server.energy.total() * 1e3:8.2f} mJ\n"
         f"  cached region  : {browse_e * 1e3:8.2f} mJ "
-        f"({session.misses - misses_before} shipment(s) for 80 windows)"
+        f"({cache.misses - misses_before} shipment(s) for 80 windows)"
     )
     winner = (
         "cached region" if browse_e < browse_server.energy.total()

@@ -25,12 +25,11 @@ import argparse
 
 import numpy as np
 
-from repro import Policy, quick_environment
+from repro import Policy, Session, quick_environment
 from repro.constants import MBPS
 from repro.core import RangeQuery, Scheme, SchemeConfig
 from repro.core.broadcast import BroadcastClient, BroadcastSchedule
 from repro.core.executor import Environment
-from repro.core.experiment import plan_workload, price_workload
 from repro.spatial.extract import coverage_rect, extract_range
 from repro.spatial.mbr import MBR
 
@@ -62,6 +61,8 @@ def main() -> None:
     cov = coverage_rect(env.tree, seed_rect, extraction.entry_lo, extraction.entry_hi)
     hot = ds.subset(extraction.global_ids, name="hot-district")
     hot_env = Environment.create(hot)
+    session = Session(env)
+    hot_session = Session(hot_env)
     print(
         f"hot region: {hot.size} segments, "
         f"{extraction.total_bytes / 1024:.0f} KB, covering "
@@ -85,8 +86,7 @@ def main() -> None:
         f"{sched.cycle_seconds:.2f} s at {args.bandwidth:g} Mbps\n"
     )
 
-    env.reset_caches()
-    od = price_workload(plan_workload(queries, ON_DEMAND, env), env, policy)
+    od = session.price(session.plan(queries, ON_DEMAND), policy)[0]
     print(
         f"ask-the-server   : {od.energy.total() * 1e3:8.1f} mJ "
         f"(tx {od.energy.nic_tx * 1e3:7.1f} mJ) {od.wall_seconds:6.2f} s"
@@ -98,7 +98,7 @@ def main() -> None:
     ):
         client = BroadcastClient(sched, **kwargs)
         plans = client.plan_workload(queries, seed=11)
-        r = price_workload(plans, hot_env, policy)
+        r = hot_session.price(plans, policy)[0]
         if kwargs.get("cache_chunks"):
             cached_energy = r.energy.total()
         print(

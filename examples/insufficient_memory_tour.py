@@ -22,14 +22,9 @@ from __future__ import annotations
 
 import argparse
 
-from repro import Policy, quick_environment
+from repro import Policy, Session, quick_environment
 from repro.constants import MBPS
 from repro.core import Scheme, SchemeConfig
-from repro.core.experiment import (
-    plan_cached_workload,
-    plan_workload,
-    price_workload,
-)
 from repro.data.workloads import proximity_sequence
 
 SERVER = SchemeConfig(Scheme.FULLY_SERVER, data_at_client=False)
@@ -44,6 +39,7 @@ def main() -> None:
     args = ap.parse_args()
 
     env = quick_environment("PA", scale=args.scale)
+    session = Session(env)
     policy = Policy().with_bandwidth(args.bandwidth * MBPS)
     tour = proximity_sequence(
         env.dataset, y=args.browse, n_groups=args.stops, seed=7
@@ -55,8 +51,7 @@ def main() -> None:
     )
 
     # Baseline: every query at the server.
-    server_plans = plan_workload(tour, SERVER, env)
-    server = price_workload(server_plans, env, policy)
+    server = session.price(session.plan(tour, SERVER), policy)[0]
     print(
         f"always-at-server : {server.energy.total():7.3f} J, "
         f"{server.wall_seconds:6.2f} s total"
@@ -64,8 +59,8 @@ def main() -> None:
 
     for budget_mb in (1, 2):
         budget = budget_mb << 20
-        plans, session = plan_cached_workload(tour, env, budget)
-        cached = price_workload(plans, env, policy)
+        plans, cache = session.plan_cached(tour, budget)
+        cached = session.price(plans, policy)[0]
         verdict = (
             "saves energy"
             if cached.energy.total() < server.energy.total()
@@ -74,7 +69,7 @@ def main() -> None:
         print(
             f"cached {budget_mb} MB region: {cached.energy.total():7.3f} J, "
             f"{cached.wall_seconds:6.2f} s total "
-            f"({session.local_hits} local hits / {session.misses} misses) "
+            f"({cache.local_hits} local hits / {cache.misses} misses) "
             f"-> {verdict}, {server.wall_seconds / cached.wall_seconds:.2f}x "
             f"the server strategy's speed"
         )
@@ -83,10 +78,9 @@ def main() -> None:
     print("\nBreak-even browsing depth (1 MB buffer):")
     for browse in (10, 40, 80, 120, 160, 200):
         seq = proximity_sequence(env.dataset, y=browse, n_groups=1, seed=7)
-        plans, _ = plan_cached_workload(seq, env, 1 << 20)
-        cached = price_workload(plans, env, policy)
-        env.reset_caches()
-        srv = price_workload(plan_workload(seq, SERVER, env), env, policy)
+        plans, _ = session.plan_cached(seq, 1 << 20)
+        cached = session.price(plans, policy)[0]
+        srv = session.price(session.plan(seq, SERVER), policy)[0]
         winner = "CACHED" if cached.energy.total() < srv.energy.total() else "server"
         print(
             f"   browse {browse:4d} queries/stop: cached "

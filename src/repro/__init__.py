@@ -20,16 +20,20 @@ phase boundary.  This package provides:
 
 Quickstart::
 
-    from repro import quick_environment, Policy, execute
+    from repro import quick_environment, Session
     from repro.core import RangeQuery, SchemeConfig, Scheme
     from repro.spatial import MBR
 
-    env = quick_environment(scale=0.05)          # small PA-like dataset
+    session = Session(quick_environment(scale=0.05))  # small PA-like dataset
     q = RangeQuery(MBR(40_000, 30_000, 44_000, 33_000))
-    r = execute(q, SchemeConfig(Scheme.FULLY_SERVER, data_at_client=True), env)
-    print(r.energy.total(), "J,", r.cycles.total(), "client cycles")
+    table = session.run(
+        q, schemes=SchemeConfig(Scheme.FULLY_SERVER, data_at_client=True)
+    )
+    for row in table:   # one row per (scheme, bandwidth) point
+        print(row.bandwidth_mbps, "Mbps:", row.energy_j, "J,", row.cycles, "cycles")
 """
 
+from repro.api import RunRow, RunTable, Session
 from repro.constants import (
     BANDWIDTHS_MBPS,
     DEFAULT_CLIENT,
@@ -59,6 +63,9 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    "Session",
+    "RunTable",
+    "RunRow",
     "BANDWIDTHS_MBPS",
     "DEFAULT_CLIENT",
     "DEFAULT_COSTS",

@@ -1,7 +1,13 @@
-"""``python -m repro`` — see :mod:`repro.cli`."""
+"""``python -m repro`` — same argparse tree as the ``repro`` console script.
+
+Both entry points route through :func:`repro.cli.main`; this module only
+adds the ``-m`` plumbing (guarded so importing ``repro.__main__`` for
+inspection does not run the CLI).
+"""
 
 import sys
 
 from repro.cli import main
 
-sys.exit(main())
+if __name__ == "__main__":
+    sys.exit(main())

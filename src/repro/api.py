@@ -1,0 +1,458 @@
+"""The front door: ``Session`` plans, prices and records experiment grids.
+
+The seed grew four scattered entry points in :mod:`repro.core.experiment`
+(``plan_workload``, ``price_workload``, ``bandwidth_sweep``,
+``plan_cached_workload``); every figure, example and CLI command stitched
+them together by hand.  This module replaces them with one facade::
+
+    from repro.api import Session
+    from repro.core.executor import Policy
+
+    table = Session(dataset).run(
+        queries,
+        schemes=ADEQUATE_MEMORY_CONFIGS,
+        policies=Policy.sweep(),        # the paper's bandwidth grid
+    )
+    for row in table:
+        print(row.scheme, row.bandwidth_mbps, row.energy_j)
+
+A :class:`Session` owns one environment plus the machinery the batched
+runtime needs between calls: the plan cache (keyed on dataset fingerprint x
+workload x scheme — repeated sweeps never re-plan), the compile cache for
+:mod:`repro.core.gridrun`, and an optional :class:`~repro.core.gridrun.RunLedger`
+that every phase reports into.
+
+Migration from the legacy entry points:
+
+==============================================  ===============================
+old call                                        new call
+==============================================  ===============================
+``plan_workload(qs, cfg, env)``                 ``session.plan(qs, cfg)``
+``price_workload(plans, env, policy)``          ``session.price(plans, policy)[0]``
+``bandwidth_sweep(qs, cfgs, env)``              ``session.run(qs, schemes=cfgs).cells()``
+``plan_cached_workload(qs, env, budget)``       ``session.plan_cached(qs, budget)``
+==============================================  ===============================
+
+The old functions survive as :class:`DeprecationWarning` shims delegating
+here.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.constants import MBPS
+from repro.core.clientcache import ClientCacheSession
+from repro.core.executor import (
+    Environment,
+    Policy,
+    QueryPlan,
+    RunResult,
+    plan_query,
+    price_plan,
+)
+from repro.core.gridrun import (
+    PlanCache,
+    RunLedger,
+    dataset_fingerprint,
+    price_grid,
+)
+from repro.core.queries import Query
+from repro.core.schemes import SchemeConfig
+from repro.data.model import SegmentDataset
+from repro.sim.metrics import NICDwell
+
+__all__ = ["Session", "RunTable", "RunRow", "SweepCell", "ENGINES"]
+
+#: Pricing engines a session can run: ``"batched"`` is the vectorized
+#: grid pricer (the default), ``"scalar"`` the per-step oracle walk.
+ENGINES = ("batched", "scalar")
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One (scheme, policy) point of a sweep: the summed workload result."""
+
+    config_label: str
+    bandwidth_mbps: float
+    distance_m: float
+    result: RunResult
+
+    @property
+    def energy_j(self) -> float:
+        """Total client energy over the workload."""
+        return self.result.energy.total()
+
+    @property
+    def cycles(self) -> float:
+        """Total end-to-end client cycles over the workload."""
+        return self.result.cycles.total()
+
+
+@dataclass(frozen=True)
+class RunRow:
+    """One (scheme, policy) cell of a :class:`RunTable`."""
+
+    scheme: str
+    policy: Policy
+    result: RunResult
+    #: Per-NIC-state dwell seconds/joules (batched engine only).
+    dwell: Optional[NICDwell] = None
+
+    @property
+    def bandwidth_mbps(self) -> float:
+        """The policy's bandwidth in Mbps."""
+        return self.policy.network.bandwidth_bps / MBPS
+
+    @property
+    def distance_m(self) -> float:
+        """The policy's transmit distance in meters."""
+        return self.policy.network.distance_m
+
+    @property
+    def energy_j(self) -> float:
+        """Total client energy over the workload."""
+        return self.result.energy.total()
+
+    @property
+    def cycles(self) -> float:
+        """Total end-to-end client cycles over the workload."""
+        return self.result.cycles.total()
+
+    @property
+    def wall_seconds(self) -> float:
+        """Wall-clock seconds over the workload."""
+        return self.result.wall_seconds
+
+    def cell(self) -> SweepCell:
+        """This row as the legacy sweep record."""
+        return SweepCell(
+            config_label=self.scheme,
+            bandwidth_mbps=self.bandwidth_mbps,
+            distance_m=self.distance_m,
+            result=self.result,
+        )
+
+    def to_record(self) -> dict:
+        """This row as a flat dict (ledger ``run`` events use the same)."""
+        rec = {
+            "scheme": self.scheme,
+            "bandwidth_mbps": self.bandwidth_mbps,
+            "distance_m": self.distance_m,
+            "energy_j": self.result.energy.as_dict(),
+            "cycles": self.result.cycles.as_dict(),
+            "wall_seconds": self.result.wall_seconds,
+            "ops": {
+                "candidates": self.result.n_candidates,
+                "results": self.result.n_results,
+                "messages": len(self.result.messages),
+            },
+        }
+        if self.dwell is not None:
+            rec["nic"] = self.dwell.as_dict()
+        return rec
+
+
+@dataclass(frozen=True)
+class RunTable:
+    """The grid a :meth:`Session.run` call priced, one row per cell.
+
+    Rows are ordered scheme-major, policy-minor — the scheme order given to
+    ``run()`` then the policy order within it.
+    """
+
+    rows: Tuple[RunRow, ...]
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __getitem__(self, i: int) -> RunRow:
+        return self.rows[i]
+
+    @property
+    def schemes(self) -> List[str]:
+        """Scheme labels in first-appearance order."""
+        seen: List[str] = []
+        for row in self.rows:
+            if row.scheme not in seen:
+                seen.append(row.scheme)
+        return seen
+
+    def by_scheme(self) -> Dict[str, List[RunRow]]:
+        """Rows grouped by scheme label, preserving order."""
+        out: Dict[str, List[RunRow]] = {}
+        for row in self.rows:
+            out.setdefault(row.scheme, []).append(row)
+        return out
+
+    def cells(self) -> Dict[str, List[SweepCell]]:
+        """The legacy ``bandwidth_sweep`` shape (renderers consume this)."""
+        return {
+            label: [r.cell() for r in rows]
+            for label, rows in self.by_scheme().items()
+        }
+
+    def to_records(self) -> List[dict]:
+        """Every row as a flat dict (for ledgers and ad-hoc analysis)."""
+        return [r.to_record() for r in self.rows]
+
+    def best(self, metric: str = "energy_j") -> RunRow:
+        """The row minimizing ``metric`` (any numeric RunRow property)."""
+        if not self.rows:
+            raise ValueError("empty RunTable has no best row")
+        return min(self.rows, key=lambda r: getattr(r, metric))
+
+
+class Session:
+    """Plan, price and record experiment grids over one dataset.
+
+    ``source`` is a :class:`~repro.data.model.SegmentDataset` (an
+    environment is created for it) or a ready
+    :class:`~repro.core.executor.Environment` (for custom CPU models, as in
+    the Figure 8 clock-ratio experiment).
+
+    The session carries a :class:`~repro.core.gridrun.PlanCache` so
+    identical (workload, scheme) requests are planned once, a compile cache
+    so plans are symbolically compiled once per wire framing, and optionally
+    a :class:`~repro.core.gridrun.RunLedger` receiving ``plan`` / ``price``
+    / ``run`` events for every call.
+    """
+
+    def __init__(
+        self,
+        source: Union[SegmentDataset, Environment],
+        *,
+        plan_cache: Optional[PlanCache] = None,
+        ledger: Optional[RunLedger] = None,
+    ) -> None:
+        if isinstance(source, Environment):
+            self.env = source
+        elif isinstance(source, SegmentDataset):
+            self.env = Environment.create(source)
+        else:
+            raise TypeError(
+                "Session() takes a SegmentDataset or an Environment, got "
+                f"{type(source).__name__}"
+            )
+        self.dataset = self.env.dataset
+        self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
+        self.ledger = ledger
+        self._fingerprint: Optional[str] = None
+        self._compile_cache: Dict[tuple, object] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def fingerprint(self) -> str:
+        """The dataset's content hash (computed once, keys the plan cache)."""
+        if self._fingerprint is None:
+            self._fingerprint = dataset_fingerprint(self.dataset)
+        return self._fingerprint
+
+    @staticmethod
+    def _as_queries(workload) -> List[Query]:
+        if isinstance(workload, Query):
+            return [workload]
+        return list(workload)
+
+    @staticmethod
+    def _as_policies(policies) -> List[Policy]:
+        if policies is None:
+            return Policy.sweep()
+        if isinstance(policies, Policy):
+            return [policies]
+        return list(policies)
+
+    @staticmethod
+    def _as_schemes(schemes) -> List[SchemeConfig]:
+        if isinstance(schemes, SchemeConfig):
+            return [schemes]
+        out = list(schemes)
+        if not out:
+            raise ValueError("run() requires at least one scheme")
+        return out
+
+    # ------------------------------------------------------------------
+    def plan(
+        self,
+        workload: Union[Query, Sequence[Query]],
+        scheme: SchemeConfig,
+        *,
+        reset_caches: bool = True,
+    ) -> List[QueryPlan]:
+        """Plan a workload under one scheme, through the plan cache.
+
+        ``reset_caches=True`` (the default) cold-starts the device caches at
+        the workload boundary, as the sweep harness always did; only these
+        reproducible plans are cached.  ``reset_caches=False`` plans against
+        the environment's current warm state and bypasses the cache.
+        """
+        queries = self._as_queries(workload)
+        start = time.perf_counter()
+        cache_hit = False
+        if reset_caches:
+            plans = self.plan_cache.get(self.fingerprint, queries, scheme)
+            if plans is None:
+                self.env.reset_caches()
+                plans = [plan_query(q, scheme, self.env) for q in queries]
+                self.plan_cache.put(self.fingerprint, queries, scheme, plans)
+            else:
+                cache_hit = True
+        else:
+            plans = [plan_query(q, scheme, self.env) for q in queries]
+        if self.ledger is not None:
+            self.ledger.record(
+                "plan",
+                dataset=self.dataset.name,
+                scheme=scheme.label,
+                n_queries=len(queries),
+                seconds=time.perf_counter() - start,
+                cache_hit=cache_hit,
+                cache_hits=self.plan_cache.hits,
+                cache_misses=self.plan_cache.misses,
+                cache_hit_rate=self.plan_cache.hit_rate,
+            )
+        return plans
+
+    def price(
+        self,
+        plans: Sequence[QueryPlan],
+        policies: Union[Policy, Sequence[Policy], None] = None,
+        *,
+        engine: str = "batched",
+    ) -> List[RunResult]:
+        """Workload-summed results for each policy, in policy order.
+
+        ``engine="batched"`` routes through the vectorized grid pricer;
+        ``"scalar"`` walks every (plan, policy) pair through the oracle
+        (bit-identical to the seed's ``price_workload``).
+        """
+        plans = list(plans)
+        pols = self._as_policies(policies)
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; choose from {ENGINES}"
+            )
+        start = time.perf_counter()
+        if engine == "batched":
+            grid = price_grid(
+                plans, pols, self.env, compile_cache=self._compile_cache
+            )
+            results = [grid.combine_policy(j) for j in range(len(pols))]
+        else:
+            results = [
+                RunResult.combine([price_plan(p, self.env, pol) for p in plans])
+                for pol in pols
+            ]
+        if self.ledger is not None:
+            self.ledger.record(
+                "price",
+                engine=engine,
+                n_plans=len(plans),
+                n_policies=len(pols),
+                seconds=time.perf_counter() - start,
+            )
+        return results
+
+    def run(
+        self,
+        workload: Union[Query, Sequence[Query]],
+        *,
+        schemes: Union[SchemeConfig, Sequence[SchemeConfig]],
+        policies: Union[Policy, Sequence[Policy], None] = None,
+        engine: str = "batched",
+        reset_caches: bool = True,
+    ) -> RunTable:
+        """Plan and price the full schemes x policies grid.
+
+        ``policies=None`` prices the paper's standard bandwidth sweep
+        (:meth:`Policy.sweep`).  Returns a :class:`RunTable`, scheme-major.
+        """
+        queries = self._as_queries(workload)
+        configs = self._as_schemes(schemes)
+        pols = self._as_policies(policies)
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; choose from {ENGINES}"
+            )
+        rows: List[RunRow] = []
+        for config in configs:
+            plans = self.plan(queries, config, reset_caches=reset_caches)
+            if engine == "batched":
+                start = time.perf_counter()
+                grid = price_grid(
+                    plans, pols, self.env, compile_cache=self._compile_cache
+                )
+                priced = time.perf_counter() - start
+                scheme_rows = [
+                    RunRow(
+                        scheme=config.label,
+                        policy=pol,
+                        result=grid.combine_policy(j),
+                        dwell=grid.dwell(j),
+                    )
+                    for j, pol in enumerate(pols)
+                ]
+            else:
+                start = time.perf_counter()
+                scheme_rows = [
+                    RunRow(
+                        scheme=config.label,
+                        policy=pol,
+                        result=RunResult.combine(
+                            [price_plan(p, self.env, pol) for p in plans]
+                        ),
+                    )
+                    for pol in pols
+                ]
+                priced = time.perf_counter() - start
+            if self.ledger is not None:
+                self.ledger.record(
+                    "price",
+                    engine=engine,
+                    scheme=config.label,
+                    n_plans=len(plans),
+                    n_policies=len(pols),
+                    seconds=priced,
+                )
+                for row in scheme_rows:
+                    self.ledger.record("run", **row.to_record())
+            rows.extend(scheme_rows)
+        return RunTable(rows=tuple(rows))
+
+    def plan_cached(
+        self,
+        workload: Sequence[Query],
+        budget_bytes: int,
+        *,
+        reset_caches: bool = True,
+    ) -> Tuple[List[QueryPlan], ClientCacheSession]:
+        """Plan under the insufficient-memory cached-client scheme.
+
+        Returns the plans plus the stateful
+        :class:`~repro.core.clientcache.ClientCacheSession` (whose hit/miss
+        statistics the Figure 10 bench reports).  These plans depend on the
+        client buffer's evolving state, so they bypass the plan cache.
+        """
+        queries = self._as_queries(workload)
+        start = time.perf_counter()
+        if reset_caches:
+            self.env.reset_caches()
+        cache_session = ClientCacheSession(self.env, budget_bytes)
+        plans = cache_session.plan_sequence(list(queries))
+        if self.ledger is not None:
+            self.ledger.record(
+                "plan",
+                dataset=self.dataset.name,
+                scheme=f"cached-client:{budget_bytes}B",
+                n_queries=len(queries),
+                seconds=time.perf_counter() - start,
+                cache_hit=False,
+                local_hits=cache_session.local_hits,
+                misses=cache_session.misses,
+            )
+        return plans, cache_session

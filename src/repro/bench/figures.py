@@ -5,6 +5,12 @@ same schemes, the same parameter grid as the paper — and returns the sweep
 structure (``{scheme label: [SweepCell, ...]}`` or figure-specific rows)
 that :mod:`repro.bench.report` renders as the paper-shaped table.
 
+All sweeps route through :class:`repro.api.Session` and its batched grid
+pricer: each workload x scheme is planned once (through the session's plan
+cache) and every bandwidth is priced in one vectorized pass.  Pass a
+``session`` to share plan/compile caches and a run-ledger across figures;
+passing a bare environment still works and creates a throwaway session.
+
 The benchmark files under ``benchmarks/`` call these with full-scale
 datasets and record wall-clock via pytest-benchmark; EXPERIMENTS.md captures
 the printed output against the paper's reported values.
@@ -13,17 +19,11 @@ the printed output against the paper's reported values.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Union
 
+from repro.api import Session, SweepCell
 from repro.constants import BANDWIDTHS_MBPS, DEFAULT_CLIENT, MBPS, MHZ
 from repro.core.executor import Environment, Policy
-from repro.core.experiment import (
-    SweepCell,
-    bandwidth_sweep,
-    plan_cached_workload,
-    plan_workload,
-    price_workload,
-)
 from repro.core.schemes import ADEQUATE_MEMORY_CONFIGS, Scheme, SchemeConfig
 from repro.data.model import SegmentDataset
 from repro.data.workloads import (
@@ -57,39 +57,71 @@ POINT_NN_CONFIGS: tuple = (
 )
 
 
+def _session(source: Union[Environment, Session]) -> Session:
+    """Figures accept a Session (shared caches/ledger) or a bare env."""
+    return source if isinstance(source, Session) else Session(source)
+
+
+def _sweep(
+    session: Session,
+    queries,
+    configs: Sequence[SchemeConfig],
+    base_policy: Policy,
+    bandwidths_mbps: Sequence[float] = BANDWIDTHS_MBPS,
+) -> Dict[str, List[SweepCell]]:
+    """The evaluation section's standard grid, via the batched engine."""
+    policies = [base_policy.with_bandwidth(bw * MBPS) for bw in bandwidths_mbps]
+    table = session.run(queries, schemes=configs, policies=policies)
+    return {
+        label: [
+            SweepCell(
+                config_label=label,
+                bandwidth_mbps=bw,
+                distance_m=row.policy.network.distance_m,
+                result=row.result,
+            )
+            for bw, row in zip(bandwidths_mbps, rows)
+        ]
+        for label, rows in table.by_scheme().items()
+    }
+
+
 def fig4_point_queries(
-    env: Environment,
+    env: Union[Environment, Session],
     n_runs: int = DEFAULT_RUNS,
     base_policy: Policy = Policy(),
 ) -> Dict[str, List[SweepCell]]:
     """Figure 4: point queries, PA, schemes x bandwidths at C/S=1/8, 1 km."""
-    qs = point_queries(env.dataset, n_runs)
-    return bandwidth_sweep(qs, POINT_NN_CONFIGS, env, base_policy)
+    session = _session(env)
+    qs = point_queries(session.dataset, n_runs)
+    return _sweep(session, qs, POINT_NN_CONFIGS, base_policy)
 
 
 def fig5_range_queries(
-    env: Environment,
+    env: Union[Environment, Session],
     n_runs: int = DEFAULT_RUNS,
     base_policy: Policy = Policy(),
 ) -> Dict[str, List[SweepCell]]:
     """Figure 5 (PA) / Figure 7 (NYC): range queries, all six Table 1
     configurations x bandwidths."""
-    qs = range_queries(env.dataset, n_runs)
-    return bandwidth_sweep(qs, ADEQUATE_MEMORY_CONFIGS, env, base_policy)
+    session = _session(env)
+    qs = range_queries(session.dataset, n_runs)
+    return _sweep(session, qs, ADEQUATE_MEMORY_CONFIGS, base_policy)
 
 
 def fig6_nn_queries(
-    env: Environment,
+    env: Union[Environment, Session],
     n_runs: int = DEFAULT_RUNS,
     base_policy: Policy = Policy(),
 ) -> Dict[str, List[SweepCell]]:
     """Figure 6: NN queries — only the two 'fully at' schemes apply."""
-    qs = nn_queries(env.dataset, n_runs)
+    session = _session(env)
+    qs = nn_queries(session.dataset, n_runs)
     configs = (
         SchemeConfig(Scheme.FULLY_CLIENT),
         SchemeConfig(Scheme.FULLY_SERVER, data_at_client=True),
     )
-    return bandwidth_sweep(qs, configs, env, base_policy)
+    return _sweep(session, qs, configs, base_policy)
 
 
 def fig8_client_speed(
@@ -104,12 +136,13 @@ def fig8_client_speed(
         config=DEFAULT_CLIENT.with_clock(server_mhz * clock_ratio * MHZ)
     )
     env = Environment.create(dataset, client_cpu=client)
+    session = Session(env)
     qs = range_queries(dataset, n_runs)
-    return bandwidth_sweep(qs, ADEQUATE_MEMORY_CONFIGS, env, base_policy)
+    return _sweep(session, qs, ADEQUATE_MEMORY_CONFIGS, base_policy)
 
 
 def fig9_distance(
-    env: Environment,
+    env: Union[Environment, Session],
     n_runs: int = DEFAULT_RUNS,
     distance_m: float = 100.0,
 ) -> Dict[str, List[SweepCell]]:
@@ -134,7 +167,7 @@ class Fig10Row:
 
 
 def fig10_insufficient_memory(
-    env: Environment,
+    env: Union[Environment, Session],
     buffers: Sequence[int] = (1 << 20, 2 << 20),
     proximities: Sequence[int] = (0, 20, 40, 60, 80, 100, 120, 140, 160, 180, 200),
     bandwidth_mbps: float = 11.0,
@@ -146,16 +179,17 @@ def fig10_insufficient_memory(
     11 Mbps, at which the measured energy crossovers land nearest the
     published ones (EXPERIMENTS.md discusses the sensitivity).
     """
+    session = _session(env)
     policy = Policy().with_bandwidth(bandwidth_mbps * MBPS)
     server_cfg = SchemeConfig(Scheme.FULLY_SERVER, data_at_client=False)
     rows: List[Fig10Row] = []
     for budget in buffers:
         for y in proximities:
-            qs = proximity_sequence(env.dataset, y=y, n_groups=1, seed=seed)
-            plans, session = plan_cached_workload(qs, env, budget)
-            client = price_workload(plans, env, policy)
-            server_plans = plan_workload(qs, server_cfg, env)
-            server = price_workload(server_plans, env, policy)
+            qs = proximity_sequence(session.dataset, y=y, n_groups=1, seed=seed)
+            plans, cache_session = session.plan_cached(qs, budget)
+            client = session.price(plans, policy)[0]
+            server_plans = session.plan(qs, server_cfg)
+            server = session.price(server_plans, policy)[0]
             rows.append(
                 Fig10Row(
                     buffer_bytes=budget,
@@ -164,8 +198,8 @@ def fig10_insufficient_memory(
                     client_cycles=client.cycles.total(),
                     server_energy_j=server.energy.total(),
                     server_cycles=server.cycles.total(),
-                    local_hits=session.local_hits,
-                    misses=session.misses,
+                    local_hits=cache_session.local_hits,
+                    misses=cache_session.misses,
                 )
             )
     return rows

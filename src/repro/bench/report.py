@@ -9,12 +9,19 @@ and archived in EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Union
 
+from repro.api import SweepCell
 from repro.bench.figures import Fig10Row
-from repro.core.experiment import SweepCell
+from repro.core.gridrun import read_ledger
 
-__all__ = ["render_sweep", "render_fig10", "render_rows", "ascii_chart"]
+__all__ = [
+    "render_sweep",
+    "render_fig10",
+    "render_rows",
+    "ascii_chart",
+    "summarize_ledger",
+]
 
 
 def ascii_chart(
@@ -129,6 +136,102 @@ def render_fig10(rows: Iterable[Fig10Row], title: str) -> str:
                 f"E={r.server_energy_j:7.4f} J cyc={r.server_cycles:10.3e} "
                 f"| hits={r.local_hits} misses={r.misses}{marker}"
             )
+    return "\n".join(lines)
+
+
+def summarize_ledger(source: Union[str, List[dict]]) -> str:
+    """Summarize a run-ledger: phase timings, cache rates, NIC dwell.
+
+    ``source`` is a ledger file path or an in-memory record list
+    (:attr:`repro.core.gridrun.RunLedger.records`).  The summary folds the
+    event stream back into the quantities the ISSUE's observability layer
+    promises: per-phase op counts and wall-clock, plan-cache hit rates,
+    per-engine pricing throughput, per-NIC-state joules/seconds, and any
+    recorded speedups.
+    """
+    records = read_ledger(source) if isinstance(source, str) else list(source)
+    lines = ["== run-ledger summary =="]
+    if not records:
+        lines.append("(empty ledger)")
+        return "\n".join(lines)
+
+    counts: Dict[str, int] = {}
+    for rec in records:
+        counts[rec.get("event", "?")] = counts.get(rec.get("event", "?"), 0) + 1
+    lines.append(
+        "events  : "
+        + "  ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+    )
+
+    plans = [r for r in records if r.get("event") == "plan"]
+    if plans:
+        total_s = sum(r.get("seconds", 0.0) for r in plans)
+        queries = sum(r.get("n_queries", 0) for r in plans)
+        last = plans[-1]
+        lines.append(
+            f"plan    : {len(plans)} workloads, {queries} queries, "
+            f"{total_s:.3f} s; cache hit rate "
+            f"{last.get('cache_hit_rate', 0.0):.0%} "
+            f"({last.get('cache_hits', 0)} hits / "
+            f"{last.get('cache_misses', 0)} misses)"
+        )
+
+    prices = [r for r in records if r.get("event") == "price"]
+    for engine in sorted({r.get("engine", "?") for r in prices}):
+        rows = [r for r in prices if r.get("engine") == engine]
+        cells = sum(r.get("n_plans", 0) * r.get("n_policies", 0) for r in rows)
+        total_s = sum(r.get("seconds", 0.0) for r in rows)
+        rate = f"{cells / total_s:,.0f} cells/s" if total_s > 0 else "-"
+        lines.append(
+            f"price   : [{engine}] {len(rows)} grids, {cells} cells, "
+            f"{total_s:.3f} s ({rate})"
+        )
+
+    runs = [r for r in records if r.get("event") == "run"]
+    if runs:
+        total_e = sum(
+            sum(r.get("energy_j", {}).values()) for r in runs
+        )
+        lines.append(
+            f"run     : {len(runs)} (scheme, policy) cells, "
+            f"{total_e:.3f} J total client energy"
+        )
+        dwell: Dict[str, float] = {}
+        exits = 0
+        for r in runs:
+            nic = r.get("nic")
+            if not nic:
+                continue
+            for k, v in nic.items():
+                if k == "sleep_exits":
+                    exits += int(v)
+                else:
+                    dwell[k] = dwell.get(k, 0.0) + v
+        if dwell:
+            secs = " ".join(
+                f"{s.split('_')[0]}={dwell.get(s, 0.0):.3f}s"
+                for s in ("transmit_s", "receive_s", "idle_s", "sleep_s")
+            )
+            joules = " ".join(
+                f"{s.split('_')[0]}={dwell.get(s, 0.0):.3f}J"
+                for s in ("transmit_j", "receive_j", "idle_j", "sleep_j")
+            )
+            lines.append(f"nic     : {secs}")
+            lines.append(f"          {joules}  sleep_exits={exits}")
+
+    for r in records:
+        if r.get("event") == "speedup":
+            lines.append(
+                f"speedup : {r.get('label', '?')} batched "
+                f"{r.get('batched_s', 0.0):.3f} s vs scalar "
+                f"{r.get('scalar_s', 0.0):.3f} s -> "
+                f"{r.get('speedup', 0.0):.1f}x"
+            )
+        elif r.get("event") in ("bench", "note"):
+            detail = {
+                k: v for k, v in r.items() if k not in ("event", "t")
+            }
+            lines.append(f"{r['event']:8s}: {detail}")
     return "\n".join(lines)
 
 

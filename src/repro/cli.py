@@ -10,12 +10,16 @@ Commands
 ``figure``
     Regenerate a paper figure's table (fig4..fig10) at a chosen dataset
     scale and print it.
+``bench``
+    Time the batched grid pricer against the scalar oracle on a figure
+    sweep; ``--ledger PATH`` writes the structured JSON-lines run-ledger.
 ``taxonomy``
     Print the Table 1 work-partitioning taxonomy.
 
 Every command accepts ``--scale`` to trade fidelity for speed; the figure
 benches under ``benchmarks/`` remain the authoritative full-scale
-reproduction.
+reproduction.  All experiment commands route through the
+:class:`repro.api.Session` facade.
 """
 
 from __future__ import annotations
@@ -24,8 +28,9 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.api import Session
 from repro.constants import MBPS
-from repro.core.executor import Environment, Policy, execute
+from repro.core.executor import Environment, Policy
 from repro.core.queries import NNQuery, PointQuery, RangeQuery
 from repro.core.schemes import ADEQUATE_MEMORY_CONFIGS, Scheme, SchemeConfig
 from repro.data import tiger
@@ -76,8 +81,8 @@ def cmd_taxonomy(args: argparse.Namespace) -> int:
 
 
 def cmd_query(args: argparse.Namespace) -> int:
-    env = _load_env(args.dataset, args.scale)
-    ds = env.dataset
+    session = Session(_load_env(args.dataset, args.scale))
+    ds = session.dataset
     if args.kind == "point":
         i = args.anchor if args.anchor is not None else ds.size // 2
         q = PointQuery(float(ds.x1[i]), float(ds.y1[i]))
@@ -106,11 +111,10 @@ def cmd_query(args: argparse.Namespace) -> int:
         f"{args.kind} query on {ds.name} x{args.scale:g} at "
         f"{args.bandwidth:g} Mbps, {args.distance:g} m"
     )
-    for cfg in configs:
-        env.reset_caches()
-        r = execute(q, cfg, env, policy)
+    for row in session.run(q, schemes=configs, policies=policy):
+        r = row.result
         print(
-            f"  {cfg.label:62s} {r.energy.total() * 1e3:10.4f} mJ"
+            f"  {row.scheme:62s} {r.energy.total() * 1e3:10.4f} mJ"
             f"  {r.wall_seconds * 1e3:9.2f} ms  ({r.n_results} results)"
         )
     return 0
@@ -148,15 +152,79 @@ def cmd_figure(args: argparse.Namespace) -> int:
             f"{', '.join(sorted(set(_FIGURES) | {'fig8'}))}"
         )
     dataset = "NYC" if which == "fig7" else args.dataset
-    env = _load_env(dataset, args.scale)
+    session = Session(_load_env(dataset, args.scale))
     title, fn_name = _FIGURES[which]
     fn = getattr(figs, fn_name)
     if which == "fig10":
-        rows = fn(env)
+        rows = fn(session)
         print(render_fig10(rows, f"Figure 10: {title}"))
     else:
-        sweep = fn(env, n_runs=args.runs)
+        sweep = fn(session, n_runs=args.runs)
         print(render_sweep(sweep, f"{which}: {title} (x{args.scale:g} scale)"))
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.report import summarize_ledger
+    from repro.core.gridrun import RunLedger
+    from repro.data.workloads import nn_queries, point_queries, range_queries
+
+    env = _load_env(args.dataset, args.scale)
+    workloads = {
+        "fig4": (point_queries, None),
+        "fig5": (range_queries, ADEQUATE_MEMORY_CONFIGS),
+        "fig6": (nn_queries, None),
+    }
+    gen, configs = workloads[args.sweep]
+    if configs is None:
+        from repro.bench.figures import POINT_NN_CONFIGS
+
+        configs = (
+            POINT_NN_CONFIGS
+            if args.sweep == "fig4"
+            else (
+                SchemeConfig(Scheme.FULLY_CLIENT),
+                SchemeConfig(Scheme.FULLY_SERVER, data_at_client=True),
+            )
+        )
+    qs = gen(env.dataset, args.runs)
+    policies = Policy.sweep()
+    with RunLedger(path=args.ledger) as ledger:
+        session = Session(env, ledger=ledger)
+        # Plan once so both engines price identical cached plans, then time
+        # each engine's pricing pass (the ledger's price events carry the
+        # same figures).
+        for cfg in configs:
+            session.plan(qs, cfg)
+        table = session.run(qs, schemes=configs, policies=policies)
+        scalar = session.run(
+            qs, schemes=configs, policies=policies, engine="scalar"
+        )
+        batched_s = sum(
+            r["seconds"]
+            for r in ledger.records
+            if r["event"] == "price" and r["engine"] == "batched"
+        )
+        scalar_s = sum(
+            r["seconds"]
+            for r in ledger.records
+            if r["event"] == "price" and r["engine"] == "scalar"
+        )
+        worst = max(
+            abs(b.energy_j - s.energy_j) / s.energy_j
+            for b, s in zip(table, scalar)
+        )
+        ledger.record(
+            "speedup",
+            label=f"{args.sweep} bandwidth sweep",
+            batched_s=batched_s,
+            scalar_s=scalar_s,
+            speedup=scalar_s / batched_s if batched_s > 0 else float("inf"),
+            max_rel_err=worst,
+        )
+        print(summarize_ledger(ledger.records))
+    if args.ledger:
+        print(f"ledger  : {args.ledger}")
     return 0
 
 
@@ -164,7 +232,11 @@ def cmd_figure(args: argparse.Namespace) -> int:
 # Parser
 # ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
-    """The CLI argument parser (exposed for tests)."""
+    """The CLI argument parser (exposed for tests).
+
+    This is the single argparse tree behind both the ``repro`` console
+    script and ``python -m repro``.
+    """
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Work partitioning for mobile spatial queries (IPPS 2003 reproduction)",
@@ -191,6 +263,16 @@ def build_parser() -> argparse.ArgumentParser:
     f = sub.add_parser("figure", help="regenerate a paper figure's table")
     f.add_argument("name", help="fig4..fig10")
     f.add_argument("--runs", type=int, default=100, help="queries per workload")
+
+    b = sub.add_parser(
+        "bench",
+        help="time batched vs scalar pricing; --ledger PATH records the run",
+    )
+    b.add_argument("--sweep", default="fig5", choices=("fig4", "fig5", "fig6"),
+                   help="which figure sweep to time")
+    b.add_argument("--runs", type=int, default=25, help="queries per workload")
+    b.add_argument("--ledger", metavar="PATH", default=None,
+                   help="write the JSON-lines run-ledger to PATH")
     return parser
 
 
@@ -199,6 +281,7 @@ _COMMANDS = {
     "taxonomy": cmd_taxonomy,
     "query": cmd_query,
     "figure": cmd_figure,
+    "bench": cmd_bench,
 }
 
 

@@ -57,7 +57,7 @@ DISTANCES_M = (100.0, 1000.0)
 BUFFER_SIZES_BYTES = (1 * 1024 * 1024, 2 * 1024 * 1024)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class NICPowerTable:
     """Wireless NIC power states (paper Table 2, in watts).
 
@@ -65,6 +65,10 @@ class NICPowerTable:
     the base station; the two anchor points published in the paper are 1089.1 mW
     at 100 m and 3089.1 mW at 1 km.  :mod:`repro.sim.radio` interpolates between
     (and extrapolates around) these anchors with a path-loss model.
+
+    Construction is keyword-only and validated: powers and latencies must be
+    non-negative (a negative power would silently corrupt every energy ledger
+    downstream).
     """
 
     #: Transmit power at the 1 km anchor distance (W).
@@ -81,6 +85,20 @@ class NICPowerTable:
     sleep_exit_latency_s: float = 470e-6
     #: Latency to exit the IDLE state (seconds; zero per Table 2).
     idle_exit_latency_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "transmit_1km_w",
+            "transmit_100m_w",
+            "receive_w",
+            "idle_w",
+            "sleep_w",
+            "sleep_exit_latency_s",
+            "idle_exit_latency_s",
+        ):
+            value = getattr(self, name)
+            if value < 0:
+                raise ValueError(f"{name} must be >= 0, got {value!r}")
 
 
 @dataclass(frozen=True)
@@ -157,9 +175,15 @@ class ServerConfig:
     memory_bytes: int = 128 * 1024 * 1024
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class NetworkConfig:
-    """Wireless link and protocol parameters (paper section 5.2)."""
+    """Wireless link and protocol parameters (paper section 5.2).
+
+    Construction is keyword-only and validated: the bandwidth must be
+    positive and the distance must be positive (the radio model has no
+    physical reading for a non-positive distance), so malformed sweeps fail
+    at construction rather than deep inside a pricing walk.
+    """
 
     #: Effective delivered bandwidth ``B`` in bits/second. Channel errors and
     #: MAC effects are folded into this figure, per the paper.
@@ -181,6 +205,29 @@ class NetworkConfig:
     per_frame_instructions: int = 1_800
     #: Client instructions per payload byte (buffer copies + checksumming).
     per_byte_instructions: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bps <= 0:
+            raise ValueError(
+                f"bandwidth_bps must be positive, got {self.bandwidth_bps!r}"
+            )
+        if self.distance_m <= 0:
+            raise ValueError(
+                f"distance_m must be positive, got {self.distance_m!r}"
+            )
+        if self.mtu_bytes <= 0:
+            raise ValueError(f"mtu_bytes must be positive, got {self.mtu_bytes!r}")
+        for name in (
+            "tcp_header_bytes",
+            "ip_header_bytes",
+            "link_header_bytes",
+            "per_message_instructions",
+            "per_frame_instructions",
+            "per_byte_instructions",
+        ):
+            value = getattr(self, name)
+            if value < 0:
+                raise ValueError(f"{name} must be >= 0, got {value!r}")
 
 
 @dataclass(frozen=True)

@@ -25,8 +25,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.executor import Environment, Policy, QueryPlan, price_plan
-from repro.core.experiment import plan_workload
+from repro.core.executor import (
+    Environment,
+    Policy,
+    QueryPlan,
+    plan_query,
+    price_plan,
+)
 from repro.core.queries import Query, QueryKind
 from repro.core.schemes import ADEQUATE_MEMORY_CONFIGS, Scheme, SchemeConfig
 
@@ -108,7 +113,11 @@ class SchemeAdvisor:
                 Scheme.FILTER_SERVER_REFINE_CLIENT,
             ):
                 continue
-            plans[cfg.label] = (cfg, plan_workload(queries, cfg, self.env))
+            self.env.reset_caches()
+            plans[cfg.label] = (
+                cfg,
+                [plan_query(q, cfg, self.env) for q in queries],
+            )
         return WorkloadProfile(kind=kind, plans=plans)
 
     # ------------------------------------------------------------------

@@ -29,7 +29,7 @@ ledger conservation laws are property-tested.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import List, Optional, Union
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -62,6 +62,7 @@ from repro.spatial.rtree import PackedRTree
 __all__ = [
     "Environment",
     "Policy",
+    "WAIT_POLICIES",
     "QueryPlan",
     "RunResult",
     "ClientComputeStep",
@@ -183,9 +184,27 @@ class Environment:
         self.server_cpu.reset_cache()
 
 
-@dataclass(frozen=True)
+#: Named wait policies accepted by :meth:`Policy.sweep`: how the client CPU
+#: behaves while blocked on the NIC or the server.
+WAIT_POLICIES = {
+    # The paper's configuration: block, CPU halted in its low-power mode.
+    "block": dict(busy_wait=False, cpu_lowpower=True),
+    # Block, but without the low-power halt (isolates the halt's saving).
+    "block-fullpower": dict(busy_wait=False, cpu_lowpower=False),
+    # Spin on the message queue at full power (section 5.2 ablation).
+    "busy": dict(busy_wait=True, cpu_lowpower=True),
+}
+
+
+@dataclass(frozen=True, kw_only=True)
 class Policy:
-    """Everything the paper sweeps or ablates without re-running queries."""
+    """Everything the paper sweeps or ablates without re-running queries.
+
+    Construction is keyword-only and validated (the network and NIC power
+    table validate their own numbers; the three discipline flags must be
+    booleans).  Use :meth:`sweep` to build policy grids instead of
+    hand-assembling lists.
+    """
 
     network: NetworkConfig = DEFAULT_NETWORK
     nic_power: NICPowerTable = DEFAULT_NIC_POWER
@@ -199,6 +218,19 @@ class Policy:
     #: idles instead (ablation).
     nic_sleep: bool = True
 
+    def __post_init__(self) -> None:
+        if not isinstance(self.network, NetworkConfig):
+            raise TypeError(
+                f"network must be a NetworkConfig, got {type(self.network).__name__}"
+            )
+        if not isinstance(self.nic_power, NICPowerTable):
+            raise TypeError(
+                f"nic_power must be a NICPowerTable, got {type(self.nic_power).__name__}"
+            )
+        for flag in ("busy_wait", "cpu_lowpower", "nic_sleep"):
+            if not isinstance(getattr(self, flag), bool):
+                raise TypeError(f"{flag} must be a bool, got {getattr(self, flag)!r}")
+
     def with_bandwidth(self, bandwidth_bps: float) -> "Policy":
         """A copy at a different effective bandwidth."""
         return replace(self, network=replace(self.network, bandwidth_bps=bandwidth_bps))
@@ -206,6 +238,49 @@ class Policy:
     def with_distance(self, distance_m: float) -> "Policy":
         """A copy at a different client/base-station distance."""
         return replace(self, network=replace(self.network, distance_m=distance_m))
+
+    def with_wait(self, wait: str) -> "Policy":
+        """A copy using the named wait policy (see :data:`WAIT_POLICIES`)."""
+        try:
+            flags = WAIT_POLICIES[wait]
+        except KeyError:
+            raise ValueError(
+                f"unknown wait policy {wait!r}; choose from "
+                f"{sorted(WAIT_POLICIES)}"
+            ) from None
+        return replace(self, **flags)
+
+    @classmethod
+    def sweep(
+        cls,
+        *,
+        bandwidths_mbps: Optional[Sequence[float]] = None,
+        distances_m: Optional[Sequence[float]] = None,
+        wait: str = "block",
+        nic_sleep: bool = True,
+        network: NetworkConfig = DEFAULT_NETWORK,
+        nic_power: NICPowerTable = DEFAULT_NIC_POWER,
+    ) -> List["Policy"]:
+        """Build the cross-product policy grid of a sweep, distance-major.
+
+        ``bandwidths_mbps`` defaults to the paper's evaluation grid;
+        ``distances_m`` defaults to the base network's single distance.
+        Callers stop hand-building policy lists::
+
+            policies = Policy.sweep(bandwidths_mbps=(2, 11), distances_m=(100, 1000))
+        """
+        from repro.constants import BANDWIDTHS_MBPS, MBPS
+
+        base = cls(network=network, nic_power=nic_power, nic_sleep=nic_sleep).with_wait(wait)
+        bws = BANDWIDTHS_MBPS if bandwidths_mbps is None else tuple(bandwidths_mbps)
+        dists = (
+            (base.network.distance_m,) if distances_m is None else tuple(distances_m)
+        )
+        return [
+            base.with_bandwidth(bw * MBPS).with_distance(d)
+            for d in dists
+            for bw in bws
+        ]
 
 
 # ----------------------------------------------------------------------

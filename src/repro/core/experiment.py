@@ -1,32 +1,29 @@
-"""Workload sweep harness: plan once, price across parameter grids.
+"""Deprecated workload sweep entry points — use :class:`repro.api.Session`.
 
-The figures sweep bandwidth (all), client clock ratio (Fig. 8), transmit
-distance (Fig. 9), buffer size and proximity (Fig. 10) over 100-query
-workloads and several schemes.  Query plans are independent of bandwidth,
-distance and power policy (:mod:`repro.core.executor`), so this harness:
+The seed exposed four loose functions here; the facade in :mod:`repro.api`
+replaces them all (and adds plan caching, batched pricing and the
+run-ledger).  They remain as thin shims so existing scripts keep working,
+each emitting a :class:`DeprecationWarning` and delegating to a session:
 
-1. plans each workload x scheme combination once (caches cold-started at
-   the workload boundary, warm within it — as on the device),
-2. re-prices those plans for every policy point in the sweep,
-3. returns :class:`SweepCell` records carrying the summed breakdowns, which
-   the figure generators and shape tests consume directly.
+* :func:`plan_workload` -> :meth:`repro.api.Session.plan`
+* :func:`price_workload` -> :meth:`repro.api.Session.price` (scalar engine,
+  bit-identical to the seed's per-step walk)
+* :func:`bandwidth_sweep` -> :meth:`repro.api.Session.run` (batched engine)
+* :func:`plan_cached_workload` -> :meth:`repro.api.Session.plan_cached`
+
+:class:`SweepCell` now lives in :mod:`repro.api`; it is re-exported here
+for backward compatibility.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
 from typing import Dict, Iterable, List, Sequence
 
+from repro.api import Session, SweepCell
 from repro.constants import BANDWIDTHS_MBPS, MBPS
 from repro.core.clientcache import ClientCacheSession
-from repro.core.executor import (
-    Environment,
-    Policy,
-    QueryPlan,
-    RunResult,
-    plan_query,
-    price_plan,
-)
+from repro.core.executor import Environment, Policy, QueryPlan, RunResult
 from repro.core.queries import Query
 from repro.core.schemes import SchemeConfig
 
@@ -39,24 +36,12 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
-class SweepCell:
-    """One (scheme, policy) point of a sweep: the summed workload result."""
-
-    config_label: str
-    bandwidth_mbps: float
-    distance_m: float
-    result: RunResult
-
-    @property
-    def energy_j(self) -> float:
-        """Total client energy over the workload."""
-        return self.result.energy.total()
-
-    @property
-    def cycles(self) -> float:
-        """Total end-to-end client cycles over the workload."""
-        return self.result.cycles.total()
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def plan_workload(
@@ -65,18 +50,17 @@ def plan_workload(
     env: Environment,
     reset_caches: bool = True,
 ) -> List[QueryPlan]:
-    """Plan every query of a workload under one scheme, in order."""
-    if reset_caches:
-        env.reset_caches()
-    return [plan_query(q, config, env) for q in queries]
+    """Deprecated: use :meth:`repro.api.Session.plan`."""
+    _deprecated("plan_workload()", "repro.api.Session.plan()")
+    return Session(env).plan(queries, config, reset_caches=reset_caches)
 
 
 def price_workload(
     plans: Iterable[QueryPlan], env: Environment, policy: Policy
 ) -> RunResult:
-    """Price a planned workload under one policy; returns the summed result."""
-    results = [price_plan(p, env, policy) for p in plans]
-    return RunResult.combine(results)
+    """Deprecated: use :meth:`repro.api.Session.price`."""
+    _deprecated("price_workload()", "repro.api.Session.price()")
+    return Session(env).price(list(plans), policy, engine="scalar")[0]
 
 
 def bandwidth_sweep(
@@ -86,27 +70,25 @@ def bandwidth_sweep(
     base_policy: Policy = Policy(),
     bandwidths_mbps: Sequence[float] = BANDWIDTHS_MBPS,
 ) -> Dict[str, List[SweepCell]]:
-    """The evaluation section's standard grid: schemes x bandwidths.
+    """Deprecated: use :meth:`repro.api.Session.run`.
 
-    Returns ``{scheme label: [SweepCell per bandwidth]}``; plans are built
-    once per scheme and re-priced per bandwidth.
+    Returns ``{scheme label: [SweepCell per bandwidth]}`` exactly as the
+    seed did, now priced through the batched grid engine.
     """
+    _deprecated("bandwidth_sweep()", "repro.api.Session.run()")
+    policies = [base_policy.with_bandwidth(bw * MBPS) for bw in bandwidths_mbps]
+    table = Session(env).run(queries, schemes=configs, policies=policies)
     out: Dict[str, List[SweepCell]] = {}
-    for config in configs:
-        plans = plan_workload(queries, config, env)
-        cells: List[SweepCell] = []
-        for bw in bandwidths_mbps:
-            policy = base_policy.with_bandwidth(bw * MBPS)
-            result = price_workload(plans, env, policy)
-            cells.append(
-                SweepCell(
-                    config_label=config.label,
-                    bandwidth_mbps=bw,
-                    distance_m=policy.network.distance_m,
-                    result=result,
-                )
+    for label, rows in table.by_scheme().items():
+        out[label] = [
+            SweepCell(
+                config_label=label,
+                bandwidth_mbps=bw,
+                distance_m=row.policy.network.distance_m,
+                result=row.result,
             )
-        out[config.label] = cells
+            for bw, row in zip(bandwidths_mbps, rows)
+        ]
     return out
 
 
@@ -116,12 +98,8 @@ def plan_cached_workload(
     budget_bytes: int,
     reset_caches: bool = True,
 ) -> tuple[List[QueryPlan], ClientCacheSession]:
-    """Plan a workload under the insufficient-memory cached-client scheme.
-
-    Returns the plans plus the session (whose hit/miss statistics the
-    Figure 10 bench reports).
-    """
-    if reset_caches:
-        env.reset_caches()
-    session = ClientCacheSession(env, budget_bytes)
-    return session.plan_sequence(list(queries)), session
+    """Deprecated: use :meth:`repro.api.Session.plan_cached`."""
+    _deprecated("plan_cached_workload()", "repro.api.Session.plan_cached()")
+    return Session(env).plan_cached(
+        queries, budget_bytes, reset_caches=reset_caches
+    )

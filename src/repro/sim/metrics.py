@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, fields
 
-__all__ = ["EnergyBreakdown", "CycleBreakdown"]
+__all__ = ["EnergyBreakdown", "CycleBreakdown", "NICDwell"]
 
 
 @dataclass(frozen=True)
@@ -57,6 +57,50 @@ class EnergyBreakdown:
 
     def as_dict(self) -> dict:
         """Buckets as a plain dict."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+@dataclass(frozen=True)
+class NICDwell:
+    """Per-NIC-state dwell: how long the radio sat in each state, and what
+    that dwell cost.
+
+    The run-ledger's observability record: the energy bars of the figures
+    show joules per state, but diagnosing *why* a scheme burns idle energy
+    needs the seconds too (a long dwell at low power and a short dwell at
+    high power can cost the same joules).  Produced by the batched pricer
+    (:mod:`repro.core.gridrun`) for every grid cell.
+    """
+
+    transmit_s: float = 0.0
+    receive_s: float = 0.0
+    idle_s: float = 0.0
+    sleep_s: float = 0.0
+    transmit_j: float = 0.0
+    receive_j: float = 0.0
+    idle_j: float = 0.0
+    sleep_j: float = 0.0
+    #: Number of SLEEP exits (each charged the exit latency at idle power).
+    sleep_exits: int = 0
+
+    def total_seconds(self) -> float:
+        """Wall-clock seconds across all states."""
+        return self.transmit_s + self.receive_s + self.idle_s + self.sleep_s
+
+    def total_joules(self) -> float:
+        """NIC energy across all states."""
+        return self.transmit_j + self.receive_j + self.idle_j + self.sleep_j
+
+    def __add__(self, other: "NICDwell") -> "NICDwell":
+        return NICDwell(
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def as_dict(self) -> dict:
+        """All fields as a plain dict (the ledger serializes this)."""
         return {f.name: getattr(self, f.name) for f in fields(self)}
 
 

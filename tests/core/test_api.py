@@ -1,0 +1,219 @@
+"""Session facade: legacy-entry-point equivalence, validation, RunTable."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import RunRow, RunTable, Session, SweepCell
+from repro.constants import (
+    BANDWIDTHS_MBPS,
+    MBPS,
+    NetworkConfig,
+    NICPowerTable,
+)
+from repro.core.executor import WAIT_POLICIES, Policy
+from repro.core.experiment import (
+    bandwidth_sweep,
+    plan_cached_workload,
+    plan_workload,
+    price_workload,
+)
+from repro.core.gridrun import RunLedger
+from repro.core.schemes import ADEQUATE_MEMORY_CONFIGS, Scheme, SchemeConfig
+from repro.data.workloads import proximity_sequence, range_queries
+
+FS = SchemeConfig(Scheme.FULLY_SERVER, data_at_client=True)
+FC = SchemeConfig(Scheme.FULLY_CLIENT)
+
+
+class TestLegacyEquivalence:
+    """The four deprecated entry points warn and match Session exactly."""
+
+    def test_plan_workload(self, env_small, pa_small):
+        qs = range_queries(pa_small, 4, seed=31)
+        with pytest.warns(DeprecationWarning, match="plan_workload"):
+            legacy = plan_workload(qs, FS, env_small)
+        new = Session(env_small).plan(qs, FS)
+        assert len(legacy) == len(new) == len(qs)
+        for a, b in zip(legacy, new):
+            assert len(a.steps) == len(b.steps)
+            assert a.n_candidates == b.n_candidates
+
+    def test_price_workload_bitwise(self, env_small, pa_small):
+        qs = range_queries(pa_small, 4, seed=31)
+        session = Session(env_small)
+        plans = session.plan(qs, FS)
+        policy = Policy().with_bandwidth(6 * MBPS)
+        with pytest.warns(DeprecationWarning, match="price_workload"):
+            legacy = price_workload(plans, env_small, policy)
+        new = session.price(plans, policy, engine="scalar")[0]
+        assert legacy.energy.total() == new.energy.total()
+        assert legacy.cycles.total() == new.cycles.total()
+        assert legacy.wall_seconds == new.wall_seconds
+
+    def test_scalar_and_batched_engines_agree(self, env_small, pa_small):
+        qs = range_queries(pa_small, 4, seed=31)
+        session = Session(env_small)
+        plans = session.plan(qs, FS)
+        for policy in Policy.sweep():
+            scalar = session.price(plans, policy, engine="scalar")[0]
+            batched = session.price(plans, policy, engine="batched")[0]
+            assert batched.energy.total() == pytest.approx(
+                scalar.energy.total(), rel=1e-9
+            )
+            assert batched.cycles.total() == pytest.approx(
+                scalar.cycles.total(), rel=1e-9
+            )
+
+    def test_bandwidth_sweep(self, env_small, pa_small):
+        qs = range_queries(pa_small, 3, seed=32)
+        configs = ADEQUATE_MEMORY_CONFIGS[:2]
+        with pytest.warns(DeprecationWarning, match="bandwidth_sweep"):
+            legacy = bandwidth_sweep(qs, configs, env_small)
+        policies = [
+            Policy().with_bandwidth(bw * MBPS) for bw in BANDWIDTHS_MBPS
+        ]
+        table = Session(env_small).run(qs, schemes=configs, policies=policies)
+        cells = table.cells()
+        assert set(legacy) == set(cells)
+        for label in legacy:
+            for old, new in zip(legacy[label], cells[label]):
+                assert old.bandwidth_mbps == new.bandwidth_mbps
+                assert old.energy_j == new.energy_j
+                assert old.cycles == new.cycles
+
+    def test_plan_cached_workload(self, env_small, pa_small):
+        qs = proximity_sequence(pa_small, y=4, n_groups=2, seed=33)
+        with pytest.warns(DeprecationWarning, match="plan_cached_workload"):
+            legacy_plans, legacy_cache = plan_cached_workload(
+                qs, env_small, 256 * 1024
+            )
+        new_plans, new_cache = Session(env_small).plan_cached(qs, 256 * 1024)
+        assert len(legacy_plans) == len(new_plans)
+        assert legacy_cache.local_hits == new_cache.local_hits
+        assert legacy_cache.misses == new_cache.misses
+
+
+class TestPolicyConstruction:
+    def test_sweep_default_is_paper_grid(self):
+        policies = Policy.sweep()
+        assert [p.network.bandwidth_bps / MBPS for p in policies] == list(
+            BANDWIDTHS_MBPS
+        )
+
+    def test_sweep_custom_bandwidths_and_distances(self):
+        policies = Policy.sweep(
+            bandwidths_mbps=(2, 11), distances_m=(100.0, 1000.0)
+        )
+        assert len(policies) == 4
+        assert {p.network.distance_m for p in policies} == {100.0, 1000.0}
+
+    def test_sweep_wait_policies(self):
+        for name, flags in WAIT_POLICIES.items():
+            p = Policy.sweep(bandwidths_mbps=(2,), wait=name)[0]
+            assert p.busy_wait == flags["busy_wait"]
+            assert p.cpu_lowpower == flags["cpu_lowpower"]
+
+    def test_unknown_wait_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown wait policy"):
+            Policy().with_wait("spinny")
+        with pytest.raises(ValueError, match="unknown wait policy"):
+            Policy.sweep(wait="spinny")
+
+    def test_negative_bandwidth_rejected(self):
+        with pytest.raises(ValueError, match="bandwidth_bps"):
+            NetworkConfig(bandwidth_bps=-2.0 * MBPS)
+        with pytest.raises(ValueError, match="bandwidth_bps"):
+            Policy().with_bandwidth(0.0)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError, match="distance_m"):
+            NetworkConfig(distance_m=-1.0)
+        with pytest.raises(ValueError, match="distance_m"):
+            Policy().with_distance(-5.0)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError, match="transmit_1km_w"):
+            NICPowerTable(transmit_1km_w=-1.5)
+        with pytest.raises(ValueError, match="receive_w"):
+            NICPowerTable(receive_w=-0.1)
+
+    def test_keyword_only(self):
+        with pytest.raises(TypeError):
+            NetworkConfig(2.0 * MBPS)  # noqa: B026 - positional forbidden
+        with pytest.raises(TypeError):
+            NICPowerTable(1.5)
+        with pytest.raises(TypeError):
+            Policy(NetworkConfig())
+
+    def test_policy_type_validation(self):
+        with pytest.raises(TypeError):
+            Policy(network="11mbps")
+        with pytest.raises(TypeError):
+            Policy(nic_sleep="yes")
+
+
+class TestSessionRun:
+    def test_run_table_shape_and_order(self, env_small, pa_small):
+        qs = range_queries(pa_small, 2, seed=34)
+        configs = [FC, FS]
+        table = Session(env_small).run(qs, schemes=configs)
+        assert isinstance(table, RunTable)
+        assert len(table) == 2 * len(BANDWIDTHS_MBPS)
+        assert table.schemes == [FC.label, FS.label]
+        assert isinstance(table[0], RunRow)
+        by_scheme = table.by_scheme()
+        assert [r.bandwidth_mbps for r in by_scheme[FS.label]] == list(
+            BANDWIDTHS_MBPS
+        )
+
+    def test_single_query_single_scheme_single_policy(self, env_small, pa_small):
+        q = range_queries(pa_small, 1, seed=35)[0]
+        table = Session(env_small).run(q, schemes=FS, policies=Policy())
+        assert len(table) == 1
+        assert table[0].energy_j > 0
+        assert table[0].dwell is not None
+        assert isinstance(table[0].cell(), SweepCell)
+
+    def test_best_row(self, env_small, pa_small):
+        qs = range_queries(pa_small, 2, seed=35)
+        table = Session(env_small).run(qs, schemes=[FC, FS])
+        best = table.best("energy_j")
+        assert best.energy_j == min(r.energy_j for r in table)
+
+    def test_plan_cache_reused_across_runs(self, env_small, pa_small):
+        qs = range_queries(pa_small, 2, seed=36)
+        session = Session(env_small)
+        session.run(qs, schemes=FS, policies=Policy())
+        assert session.plan_cache.misses == 1
+        session.run(qs, schemes=FS, policies=Policy(nic_sleep=False))
+        assert session.plan_cache.hits == 1
+
+    def test_ledger_events(self, env_small, pa_small):
+        qs = range_queries(pa_small, 2, seed=37)
+        ledger = RunLedger()
+        session = Session(env_small, ledger=ledger)
+        session.run(qs, schemes=FS, policies=Policy())
+        events = [r["event"] for r in ledger.records]
+        assert events == ["plan", "price", "run"]
+        run_rec = ledger.records[-1]
+        assert run_rec["scheme"] == FS.label
+        assert "nic" in run_rec and "sleep_exits" in run_rec["nic"]
+        assert run_rec["ops"]["results"] >= 0
+
+    def test_bad_engine_rejected(self, env_small, pa_small):
+        qs = range_queries(pa_small, 1, seed=38)
+        session = Session(env_small)
+        with pytest.raises(ValueError, match="unknown engine"):
+            session.run(qs, schemes=FS, engine="quantum")
+        with pytest.raises(ValueError, match="unknown engine"):
+            session.price([], Policy(), engine="quantum")
+
+    def test_bad_source_rejected(self):
+        with pytest.raises(TypeError, match="SegmentDataset or an Environment"):
+            Session(42)
+
+    def test_session_from_dataset(self, pa_small):
+        session = Session(pa_small)
+        assert session.dataset is pa_small
+        assert session.fingerprint == Session(pa_small).fingerprint

@@ -63,3 +63,37 @@ class TestCommands:
     def test_figure_unknown_exits(self):
         with pytest.raises(SystemExit):
             main(["figure", "fig99"])
+
+
+class TestBenchCommand:
+    def test_help_lists_bench_and_ledger(self, capsys):
+        """``python -m repro --help`` advertises bench and its --ledger flag."""
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--help"])
+        out = capsys.readouterr().out
+        assert "bench" in out
+        assert "--ledger" in out
+        args = build_parser().parse_args(["bench", "--ledger", "x.jsonl"])
+        assert args.ledger == "x.jsonl"
+        assert args.sweep == "fig5"
+
+    def test_bench_writes_ledger(self, capsys, tmp_path):
+        from repro.core.gridrun import read_ledger
+
+        path = str(tmp_path / "bench.jsonl")
+        assert main(
+            ["--scale", "0.02", "bench", "--runs", "3", "--ledger", path]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "run-ledger summary" in out
+        assert "speedup" in out
+        records = read_ledger(path)
+        events = {r["event"] for r in records}
+        assert {"plan", "price", "run", "speedup"} <= events
+        speedup = [r for r in records if r["event"] == "speedup"][-1]
+        assert speedup["batched_s"] > 0 and speedup["scalar_s"] > 0
+        assert speedup["max_rel_err"] < 1e-9
+
+    def test_bench_in_memory(self, capsys):
+        assert main(["--scale", "0.02", "bench", "--runs", "2", "--sweep", "fig6"]) == 0
+        assert "price" in capsys.readouterr().out
