@@ -126,6 +126,11 @@ class RunRow:
         """Wall-clock seconds over the workload."""
         return self.result.wall_seconds
 
+    @property
+    def loss_rate(self) -> float:
+        """The policy's frame-loss rate (0 = the paper's ideal channel)."""
+        return self.policy.network.loss_rate
+
     def cell(self) -> SweepCell:
         """This row as the legacy sweep record."""
         return SweepCell(
@@ -150,6 +155,9 @@ class RunRow:
                 "messages": len(self.result.messages),
             },
         }
+        if self.loss_rate > 0.0:
+            rec["loss_rate"] = self.loss_rate
+            rec["loss"] = self.result.loss.as_dict()
         if self.dwell is not None:
             rec["nic"] = self.dwell.as_dict()
         return rec

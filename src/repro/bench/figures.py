@@ -43,7 +43,10 @@ __all__ = [
     "fig8_client_speed",
     "fig9_distance",
     "fig10_insufficient_memory",
+    "fig_loss_sweep",
     "Fig10Row",
+    "LossCell",
+    "LOSS_RATES",
 ]
 
 #: Configurations shown for point queries in Figure 4: the paper omits the
@@ -150,6 +153,76 @@ def fig9_distance(
     return fig5_range_queries(
         env, n_runs, base_policy=Policy().with_distance(distance_m)
     )
+
+
+#: Default frame-loss grid for the lossy-channel companion sweep: ideal
+#: channel first (so the sweep embeds its own Figure 5 baseline), then
+#: loss rates spanning a clean office link to a badly faded edge of range.
+LOSS_RATES: tuple = (0.0, 0.01, 0.02, 0.05, 0.1)
+
+
+@dataclass(frozen=True)
+class LossCell:
+    """One (scheme, loss rate) point of the loss-sweep companion figure."""
+
+    config_label: str
+    loss_rate: float
+    bandwidth_mbps: float
+    distance_m: float
+    result: object  # RunResult
+
+    @property
+    def energy_j(self) -> float:
+        """Total client energy over the workload."""
+        return self.result.energy.total()
+
+    @property
+    def cycles(self) -> float:
+        """Total end-to-end client cycles over the workload."""
+        return self.result.cycles.total()
+
+
+def fig_loss_sweep(
+    env: Union[Environment, Session],
+    n_runs: int = DEFAULT_RUNS,
+    loss_rates: Sequence[float] = LOSS_RATES,
+    bandwidth_mbps: float = 2.0,
+    burst_frames: Union[float, None] = None,
+    base_policy: Policy = Policy(),
+) -> Dict[str, List[LossCell]]:
+    """Loss-sweep companion to Figure 5: range queries, fixed bandwidth,
+    frame-loss rate on the x-axis.
+
+    The paper's scheme rankings assume an ideal channel; this sweep shows
+    how they shift as the link degrades — retransmissions tax the schemes
+    that move the most bytes, so the data-shipping variants fall off first.
+    The default 2 Mbps operating point is the paper's low-bandwidth regime,
+    where the rankings are closest and loss flips them soonest.
+    ``burst_frames`` switches the channel from i.i.d. Bernoulli losses to
+    Gilbert-Elliott bursts of that mean length.
+    """
+    session = _session(env)
+    qs = range_queries(session.dataset, n_runs)
+    policies = [
+        base_policy.with_bandwidth(bandwidth_mbps * MBPS).with_loss(
+            rate, burst_frames=burst_frames
+        )
+        for rate in loss_rates
+    ]
+    table = session.run(qs, schemes=ADEQUATE_MEMORY_CONFIGS, policies=policies)
+    return {
+        label: [
+            LossCell(
+                config_label=label,
+                loss_rate=rate,
+                bandwidth_mbps=bandwidth_mbps,
+                distance_m=row.policy.network.distance_m,
+                result=row.result,
+            )
+            for rate, row in zip(loss_rates, rows)
+        ]
+        for label, rows in table.by_scheme().items()
+    }
 
 
 @dataclass(frozen=True)

@@ -12,11 +12,12 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Union
 
 from repro.api import SweepCell
-from repro.bench.figures import Fig10Row
+from repro.bench.figures import Fig10Row, LossCell
 from repro.core.gridrun import read_ledger
 
 __all__ = [
     "render_sweep",
+    "render_loss_sweep",
     "render_fig10",
     "render_rows",
     "ascii_chart",
@@ -115,6 +116,36 @@ def render_sweep(
             if metric in ("cycles", "both"):
                 parts.append(f"cyc {_fmt_cycles(cell)}")
             lines.append("  ".join(parts))
+    return "\n".join(lines)
+
+
+def render_loss_sweep(
+    sweep: Dict[str, List[LossCell]],
+    title: str,
+) -> str:
+    """Render a schemes x loss-rates sweep with the retransmission ledger.
+
+    One row per loss rate: total energy and cycles, then the loss ledger —
+    retransmitted frames per direction and backoff dwell — so the cost of
+    the degrading link is visible next to what it did to the totals.
+    """
+    lines = [f"== {title} =="]
+    first = next(iter(sweep.values()))
+    lines.append(
+        f"   fixed {first[0].bandwidth_mbps:g} Mbps, "
+        f"{first[0].distance_m:g} m; loss rate sweeps down the rows"
+    )
+    for label, cells in sweep.items():
+        lines.append(f"-- {label}")
+        for cell in cells:
+            loss = cell.result.loss
+            lines.append(
+                f"   p={cell.loss_rate:5.3f}  E[J] {cell.energy_j:8.3f}  "
+                f"cyc {cell.cycles:9.3e}  "
+                f"retx tx={loss.retx_tx_frames:7.2f} "
+                f"rx={loss.retx_rx_frames:7.2f}  "
+                f"backoff={loss.backoff_s:7.3f}s"
+            )
     return "\n".join(lines)
 
 

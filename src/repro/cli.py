@@ -127,12 +127,13 @@ _FIGURES = {
     "fig7": ("range queries (NYC)", "fig5_range_queries"),
     "fig9": ("range queries at 100 m", "fig9_distance"),
     "fig10": ("insufficient memory", "fig10_insufficient_memory"),
+    "loss": ("range queries on a lossy link", "fig_loss_sweep"),
 }
 
 
 def cmd_figure(args: argparse.Namespace) -> int:
     from repro.bench import figures as figs
-    from repro.bench.report import render_fig10, render_sweep
+    from repro.bench.report import render_fig10, render_loss_sweep, render_sweep
 
     which = args.name
     if which == "fig8":
@@ -158,6 +159,18 @@ def cmd_figure(args: argparse.Namespace) -> int:
     if which == "fig10":
         rows = fn(session)
         print(render_fig10(rows, f"Figure 10: {title}"))
+    elif which == "loss":
+        sweep = fn(
+            session,
+            n_runs=args.runs,
+            bandwidth_mbps=args.bandwidth,
+            burst_frames=args.burst_frames,
+        )
+        print(
+            render_loss_sweep(
+                sweep, f"loss: {title} (x{args.scale:g} scale)"
+            )
+        )
     else:
         sweep = fn(session, n_runs=args.runs)
         print(render_sweep(sweep, f"{which}: {title} (x{args.scale:g} scale)"))
@@ -188,7 +201,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
             )
         )
     qs = gen(env.dataset, args.runs)
-    policies = Policy.sweep()
+    if args.loss > 0.0:
+        policies = Policy.sweep(
+            loss_rates=(args.loss,), loss_burst_frames=args.burst_frames
+        )
+    else:
+        policies = Policy.sweep()
     with RunLedger(path=args.ledger) as ledger:
         session = Session(env, ledger=ledger)
         # Plan once so both engines price identical cached plans, then time
@@ -261,8 +279,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="segment id to anchor the query on")
 
     f = sub.add_parser("figure", help="regenerate a paper figure's table")
-    f.add_argument("name", help="fig4..fig10")
+    f.add_argument("name", help="fig4..fig10, or 'loss' for the lossy-link sweep")
     f.add_argument("--runs", type=int, default=100, help="queries per workload")
+    f.add_argument("--bandwidth", type=float, default=2.0,
+                   help="fixed bandwidth (Mbps) for the loss sweep")
+    f.add_argument("--burst-frames", type=float, default=None,
+                   help="mean loss-burst length for the loss sweep "
+                        "(default: i.i.d. losses)")
 
     b = sub.add_parser(
         "bench",
@@ -271,6 +294,11 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--sweep", default="fig5", choices=("fig4", "fig5", "fig6"),
                    help="which figure sweep to time")
     b.add_argument("--runs", type=int, default=25, help="queries per workload")
+    b.add_argument("--loss", type=float, default=0.0,
+                   help="frame-loss rate for the sweep's policies "
+                        "(0 = ideal channel)")
+    b.add_argument("--burst-frames", type=float, default=None,
+                   help="mean loss-burst length (default: i.i.d. losses)")
     b.add_argument("--ledger", metavar="PATH", default=None,
                    help="write the JSON-lines run-ledger to PATH")
     return parser

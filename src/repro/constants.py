@@ -183,6 +183,13 @@ class NetworkConfig:
     positive and the distance must be positive (the radio model has no
     physical reading for a non-positive distance), so malformed sweeps fail
     at construction rather than deep inside a pricing walk.
+
+    The paper's channel is ideal — errors are folded into the effective
+    bandwidth.  The ``loss_*`` / ``retx_*`` fields relax that: a stationary
+    per-frame loss rate (i.i.d. Bernoulli, or Gilbert-Elliott bursts of
+    mean length ``loss_burst_frames``) with TCP-like retransmission under
+    capped exponential backoff.  ``loss_rate=0`` (the default) reproduces
+    the ideal channel bit for bit; :mod:`repro.sim.lossy` prices the rest.
     """
 
     #: Effective delivered bandwidth ``B`` in bits/second. Channel errors and
@@ -205,12 +212,42 @@ class NetworkConfig:
     per_frame_instructions: int = 1_800
     #: Client instructions per payload byte (buffer copies + checksumming).
     per_byte_instructions: float = 0.25
+    #: Stationary per-frame loss probability in [0, 1).  0 = ideal channel.
+    loss_rate: float = 0.0
+    #: Mean loss-burst length in frames for the Gilbert-Elliott burst mode;
+    #: ``None`` selects i.i.d. Bernoulli losses.  Must be >= 1 when set.
+    loss_burst_frames: float | None = None
+    #: Dwell before the first retransmission of a lost frame (seconds).
+    retx_timeout_s: float = 0.02
+    #: Timeout growth factor per consecutive loss of the same frame (>= 1).
+    retx_backoff: float = 2.0
+    #: Ceiling on the backed-off timeout (seconds).
+    retx_timeout_cap_s: float = 1.0
 
     def __post_init__(self) -> None:
         if self.bandwidth_bps <= 0:
             raise ValueError(
                 f"bandwidth_bps must be positive, got {self.bandwidth_bps!r}"
             )
+        if not (0.0 <= self.loss_rate < 1.0):
+            raise ValueError(
+                f"loss_rate must be in [0, 1), got {self.loss_rate!r}"
+            )
+        if self.loss_burst_frames is not None and not (
+            1.0 <= self.loss_burst_frames < float("inf")
+        ):
+            raise ValueError(
+                "loss_burst_frames must be a finite value >= 1 (or None for "
+                f"Bernoulli losses), got {self.loss_burst_frames!r}"
+            )
+        if self.retx_backoff < 1.0:
+            raise ValueError(
+                f"retx_backoff must be >= 1, got {self.retx_backoff!r}"
+            )
+        for name in ("retx_timeout_s", "retx_timeout_cap_s"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ValueError(f"{name} must be >= 0, got {value!r}")
         if self.distance_m <= 0:
             raise ValueError(
                 f"distance_m must be positive, got {self.distance_m!r}"

@@ -161,22 +161,41 @@ class SchemeAdvisor:
         distances_m: Sequence[float],
         objective: Objective = Objective.battery(),
         base_policy: Optional[Policy] = None,
+        loss_rates: Optional[Sequence[float]] = None,
+        loss_burst_frames: Optional[float] = None,
     ) -> List[dict]:
-        """The policy table over a (bandwidth, distance) grid."""
+        """The policy table over a (bandwidth, distance[, loss]) grid.
+
+        ``loss_rates`` widens the grid with a lossy-channel axis; its rows
+        additionally carry ``loss_rate``.  The default (None) keeps the
+        ideal channel and the pre-loss row shape — loss shifts the verdict
+        because retransmissions tax chatty schemes more than quiet ones,
+        and the advisor sees that through the same pricing path the
+        benches use.
+        """
         base = base_policy if base_policy is not None else Policy()
+        if loss_rates is None:
+            lossy = [(None, base)]
+        else:
+            lossy = [
+                (rate, base.with_loss(rate, burst_frames=loss_burst_frames))
+                for rate in loss_rates
+            ]
         rows: List[dict] = []
         for d in distances_m:
-            for b in bandwidths_bps:
-                policy = base.with_bandwidth(b).with_distance(d)
-                pick = self.advise(profile, policy, objective)
-                e, t = self.score(profile, policy)[pick.label]
-                rows.append(
-                    {
+            for rate, lbase in lossy:
+                for b in bandwidths_bps:
+                    policy = lbase.with_bandwidth(b).with_distance(d)
+                    pick = self.advise(profile, policy, objective)
+                    e, t = self.score(profile, policy)[pick.label]
+                    row = {
                         "distance_m": d,
                         "bandwidth_bps": b,
                         "pick": pick.label,
                         "energy_J": e,
                         "seconds": t,
                     }
-                )
+                    if rate is not None:
+                        row["loss_rate"] = rate
+                    rows.append(row)
         return rows

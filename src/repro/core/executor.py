@@ -52,7 +52,8 @@ from repro.core.queries import Query, QueryKind
 from repro.core.schemes import Scheme, SchemeConfig
 from repro.data.model import SegmentDataset
 from repro.sim.cpu import ClientCPU, ComputeCost
-from repro.sim.metrics import CycleBreakdown, EnergyBreakdown
+from repro.sim.lossy import expected_retx
+from repro.sim.metrics import CycleBreakdown, EnergyBreakdown, LossStats
 from repro.sim.nic import NIC, NICState
 from repro.sim.protocol import packetize
 from repro.sim.server import ServerCPU
@@ -250,24 +251,57 @@ class Policy:
             ) from None
         return replace(self, **flags)
 
+    def with_loss(
+        self,
+        loss_rate: float,
+        *,
+        burst_frames: Optional[float] = None,
+        timeout_s: Optional[float] = None,
+        backoff: Optional[float] = None,
+        timeout_cap_s: Optional[float] = None,
+    ) -> "Policy":
+        """A copy with the lossy-channel knobs set.
+
+        ``burst_frames=None`` selects i.i.d. Bernoulli losses; a value
+        >= 1 selects Gilbert-Elliott bursts of that mean length (the loss
+        mode is fully respecified on every call).  The retransmission
+        knobs default to the current network's values when omitted.
+        """
+        kwargs: dict = {
+            "loss_rate": loss_rate,
+            "loss_burst_frames": burst_frames,
+        }
+        if timeout_s is not None:
+            kwargs["retx_timeout_s"] = timeout_s
+        if backoff is not None:
+            kwargs["retx_backoff"] = backoff
+        if timeout_cap_s is not None:
+            kwargs["retx_timeout_cap_s"] = timeout_cap_s
+        return replace(self, network=replace(self.network, **kwargs))
+
     @classmethod
     def sweep(
         cls,
         *,
         bandwidths_mbps: Optional[Sequence[float]] = None,
         distances_m: Optional[Sequence[float]] = None,
+        loss_rates: Optional[Sequence[float]] = None,
+        loss_burst_frames: Optional[float] = None,
         wait: str = "block",
         nic_sleep: bool = True,
         network: NetworkConfig = DEFAULT_NETWORK,
         nic_power: NICPowerTable = DEFAULT_NIC_POWER,
     ) -> List["Policy"]:
-        """Build the cross-product policy grid of a sweep, distance-major.
+        """Build the cross-product policy grid of a sweep.
 
-        ``bandwidths_mbps`` defaults to the paper's evaluation grid;
-        ``distances_m`` defaults to the base network's single distance.
+        Distance-major, then loss rate, then bandwidth.  ``bandwidths_mbps``
+        defaults to the paper's evaluation grid; ``distances_m`` defaults to
+        the base network's single distance; ``loss_rates`` defaults to the
+        base network's single loss rate (0 = the paper's ideal channel).
         Callers stop hand-building policy lists::
 
             policies = Policy.sweep(bandwidths_mbps=(2, 11), distances_m=(100, 1000))
+            lossy = Policy.sweep(loss_rates=(0.0, 0.01, 0.05))
         """
         from repro.constants import BANDWIDTHS_MBPS, MBPS
 
@@ -276,9 +310,17 @@ class Policy:
         dists = (
             (base.network.distance_m,) if distances_m is None else tuple(distances_m)
         )
+        if loss_rates is None:
+            lossy = [base]
+        else:
+            lossy = [
+                base.with_loss(rate, burst_frames=loss_burst_frames)
+                for rate in tuple(loss_rates)
+            ]
         return [
-            base.with_bandwidth(bw * MBPS).with_distance(d)
+            b.with_bandwidth(bw * MBPS).with_distance(d)
             for d in dists
+            for b in lossy
             for bw in bws
         ]
 
@@ -298,6 +340,9 @@ class RunResult:
     n_results: int
     #: ``(direction, payload_bytes)`` log of application messages.
     messages: tuple
+    #: Lossy-link ledger: retransmitted frames and backoff dwell (all
+    #: zeros on the paper's ideal channel).
+    loss: LossStats = LossStats()
 
     @classmethod
     def combine(cls, results: List["RunResult"]) -> "RunResult":
@@ -306,6 +351,7 @@ class RunResult:
             raise ValueError("combine() requires at least one result")
         energy = EnergyBreakdown()
         cycles = CycleBreakdown()
+        loss = LossStats()
         wall = 0.0
         n_c = n_r = 0
         msgs: List[tuple] = []
@@ -313,6 +359,7 @@ class RunResult:
         for r in results:
             energy = energy + r.energy
             cycles = cycles + r.cycles
+            loss = loss + r.loss
             wall += r.wall_seconds
             n_c += r.n_candidates
             n_r += r.n_results
@@ -326,6 +373,7 @@ class RunResult:
             n_candidates=n_c,
             n_results=n_r,
             messages=tuple(msgs),
+            loss=loss,
         )
 
 
@@ -445,11 +493,28 @@ def plan_query(query: Query, config: SchemeConfig, env: Environment) -> QueryPla
 # ----------------------------------------------------------------------
 # Pricing
 # ----------------------------------------------------------------------
-def price_plan(plan: QueryPlan, env: Environment, policy: Policy) -> RunResult:
-    """Walk a plan against a policy, producing the run's breakdowns."""
+def price_plan(
+    plan: QueryPlan, env: Environment, policy: Policy, *, channel=None
+) -> RunResult:
+    """Walk a plan against a policy, producing the run's breakdowns.
+
+    On a lossy link (``policy.network.loss_rate > 0``) every message is
+    additionally charged its closed-form *expected* retransmission cost
+    (:func:`repro.sim.lossy.expected_retx`): extra wire time at the
+    transfer's power state, backoff dwell at idle power, and per-frame
+    protocol reprocessing on the client — the deterministic mean of the
+    per-packet walk.  With ``loss_rate=0`` every added term is exactly
+    zero and the walk reproduces the ideal channel bit for bit.
+
+    Passing a seeded :class:`repro.sim.lossy.LossyChannel` as ``channel``
+    switches the loss accounting from expectations to per-frame sampling
+    — everything else in the walk stays byte-identical, which is what
+    makes :mod:`repro.core.lossmc` a true oracle for this function.
+    """
     client = env.client_cpu
     net = policy.network
     nic = NIC(power_table=policy.nic_power, distance_m=net.distance_m)
+    retx = expected_retx(net)
 
     proc_cycles = 0.0
     proc_energy = 0.0
@@ -470,6 +535,59 @@ def price_plan(plan: QueryPlan, env: Environment, policy: Policy) -> RunResult:
         busy = policy.busy_wait or not policy.cpu_lowpower
         return client.blocked_energy_j(seconds, busy_wait=busy)
 
+    def lossy_tail(msg, uplink: bool) -> float:
+        """Expected retransmission cost of one message; returns elapsed s.
+
+        The retransmitted bits ride the same power state as the original
+        transfer; the backoff dwell idles the radio awaiting the
+        ACK/retransmission; the per-frame protocol reprocessing overlaps
+        the dwell (it is orders of magnitude shorter), so it charges
+        cycles and energy but no NIC time of its own.
+        """
+        nonlocal proc_cycles, proc_energy, wait_seconds
+        if channel is not None:
+            # Monte-Carlo: sample each frame's retransmission count and
+            # backoff dwell from the seeded channel.
+            frame_bits = msg.wire_bits / msg.n_frames
+            elapsed = 0.0
+            dwell = 0.0
+            n_total = 0
+            for _ in range(msg.n_frames):
+                n, frame_dwell = channel.frame_attempts()
+                if n == 0:
+                    continue
+                if uplink:
+                    elapsed += nic.retransmit(
+                        frame_bits * n, net.bandwidth_bps, frames=n
+                    )
+                else:
+                    elapsed += nic.rereceive(
+                        frame_bits * n, net.bandwidth_bps, frames=n
+                    )
+                dwell += nic.backoff(frame_dwell)
+                n_total += n
+            extra_frames = float(n_total)
+        elif retx.lossless:
+            return 0.0
+        else:
+            extra_bits = msg.wire_bits * retx.retx_per_frame
+            extra_frames = msg.n_frames * retx.retx_per_frame
+            if uplink:
+                elapsed = nic.retransmit(
+                    extra_bits, net.bandwidth_bps, frames=extra_frames
+                )
+            else:
+                elapsed = nic.rereceive(
+                    extra_bits, net.bandwidth_bps, frames=extra_frames
+                )
+            dwell = nic.backoff(msg.n_frames * retx.backoff_per_frame_s)
+        wait_seconds += dwell
+        proc_energy += blocked(elapsed + dwell)
+        rcost = client.retx_protocol(extra_frames)
+        proc_cycles += rcost.cycles
+        proc_energy += rcost.energy_j
+        return elapsed
+
     for step in plan.steps:
         if isinstance(step, ClientComputeStep):
             proc_cycles += step.cost.cycles
@@ -486,6 +604,7 @@ def price_plan(plan: QueryPlan, env: Environment, policy: Policy) -> RunResult:
             elapsed = nic.transmit(msg.wire_bits, net.bandwidth_bps)
             tx_seconds += elapsed
             proc_energy += blocked(elapsed)
+            tx_seconds += lossy_tail(msg, uplink=True)
         elif isinstance(step, ServerComputeStep):
             seconds = env.server_cpu.seconds(step.cycles)
             # The NIC must listen for the response; the CPU blocks.
@@ -509,6 +628,7 @@ def price_plan(plan: QueryPlan, env: Environment, policy: Policy) -> RunResult:
             elapsed = nic.receive(msg.wire_bits, net.bandwidth_bps)
             rx_seconds += elapsed
             proc_energy += blocked(elapsed)
+            rx_seconds += lossy_tail(msg, uplink=False)
             # Reassembly/copy after the message lands.
             proto = client.protocol(msg)
             proc_cycles += proto.cycles
@@ -539,6 +659,11 @@ def price_plan(plan: QueryPlan, env: Environment, policy: Policy) -> RunResult:
         n_candidates=plan.n_candidates,
         n_results=plan.n_results,
         messages=tuple(messages),
+        loss=LossStats(
+            retx_tx_frames=nic.tx_retx_frames,
+            retx_rx_frames=nic.rx_retx_frames,
+            backoff_s=nic.backoff_s,
+        ),
     )
 
 

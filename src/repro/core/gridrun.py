@@ -63,7 +63,8 @@ from repro.core.executor import (
 from repro.core.queries import Query
 from repro.core.schemes import SchemeConfig
 from repro.data.model import SegmentDataset
-from repro.sim.metrics import CycleBreakdown, EnergyBreakdown, NICDwell
+from repro.sim.lossy import expected_retx
+from repro.sim.metrics import CycleBreakdown, EnergyBreakdown, LossStats, NICDwell
 from repro.sim.protocol import packetize
 from repro.sim.radio import RadioModel
 
@@ -129,6 +130,11 @@ class CompiledPlan:
     tx_bits: float
     #: Total bits on the wire, server -> client.
     rx_bits: float
+    #: Total MTU frames on the wire, client -> server (lossy-link pricing
+    #: scales retransmissions and backoff by frame counts).
+    tx_frames: float
+    #: Total MTU frames on the wire, server -> client.
+    rx_frames: float
     #: SLEEP exits when the policy sleeps the NIC between activities.
     n_exits_sleep: int
     #: ...of which happen inside ``transmit()`` (charged to NIC-Tx time).
@@ -171,6 +177,8 @@ def compile_plan(
     sleep_wait_s = 0.0
     tx_bits = 0.0
     rx_bits = 0.0
+    tx_frames = 0.0
+    rx_frames = 0.0
     messages: List[tuple] = []
     # One symbolic NIC state machine per nic_sleep discipline; index 0 is
     # nic_sleep=True, index 1 is nic_sleep=False.
@@ -209,6 +217,7 @@ def compile_plan(
             quiet(client.seconds(proto.cycles))
             wake_to(_TRANSMIT, in_transmit=True)
             tx_bits += msg.wire_bits
+            tx_frames += msg.n_frames
         elif isinstance(step, ServerComputeStep):
             idle_wait_s += env.server_cpu.seconds(step.cycles)
             wake_to(_IDLE)
@@ -225,6 +234,7 @@ def compile_plan(
             # A receive out of SLEEP wakes via idle(0.0) in the scalar walk.
             wake_to(_RECEIVE)
             rx_bits += msg.wire_bits
+            rx_frames += msg.n_frames
             proto = client.protocol(msg)
             proc_cycles += proto.cycles
             proc_energy += proto.energy_j
@@ -240,6 +250,8 @@ def compile_plan(
         sleep_wait_s=sleep_wait_s,
         tx_bits=tx_bits,
         rx_bits=rx_bits,
+        tx_frames=tx_frames,
+        rx_frames=rx_frames,
         n_exits_sleep=exits[0],
         n_tx_wake_sleep=tx_wakes[0],
         n_exits_nosleep=exits[1],
@@ -265,6 +277,10 @@ class _PolicyColumns:
     sleep_w: np.ndarray
     exit_latency_s: np.ndarray
     blocked_power_w: np.ndarray
+    #: Expected retransmissions per wire frame (0 on an ideal channel).
+    retx_per_frame: np.ndarray
+    #: Expected backoff dwell per wire frame, seconds.
+    backoff_per_frame_s: np.ndarray
     #: 0 where nic_sleep=True, 1 where nic_sleep=False (variant index).
     variant: np.ndarray
 
@@ -273,6 +289,7 @@ class _PolicyColumns:
         nominal = env.client_cpu.config.power_at()
         lp = env.client_cpu.config.lowpower_fraction
         bw, txp, rxw, idw, slw, lat, blk, var = [], [], [], [], [], [], [], []
+        rpf, bpf = [], []
         for p in policies:
             bw.append(p.network.bandwidth_bps)
             txp.append(
@@ -286,6 +303,9 @@ class _PolicyColumns:
             lat.append(p.nic_power.sleep_exit_latency_s)
             busy = p.busy_wait or not p.cpu_lowpower
             blk.append(nominal if busy else nominal * lp)
+            retx = expected_retx(p.network)
+            rpf.append(retx.retx_per_frame)
+            bpf.append(retx.backoff_per_frame_s)
             var.append(0 if p.nic_sleep else 1)
         f = np.asarray
         return cls(
@@ -296,6 +316,8 @@ class _PolicyColumns:
             sleep_w=f(slw, dtype=np.float64),
             exit_latency_s=f(lat, dtype=np.float64),
             blocked_power_w=f(blk, dtype=np.float64),
+            retx_per_frame=f(rpf, dtype=np.float64),
+            backoff_per_frame_s=f(bpf, dtype=np.float64),
             variant=f(var, dtype=np.intp),
         )
 
@@ -329,6 +351,9 @@ class GridResult:
     dwell_idle_s: np.ndarray
     dwell_sleep_s: np.ndarray
     sleep_exits: np.ndarray
+    retx_tx_frames: np.ndarray
+    retx_rx_frames: np.ndarray
+    backoff_s: np.ndarray
 
     @property
     def shape(self) -> Tuple[int, int]:
@@ -353,6 +378,14 @@ class GridResult:
             wait=float(self.cycles_wait[i, j]),
         )
 
+    def loss(self, i: int, j: int) -> LossStats:
+        """The (plan i, policy j) cell's lossy-link ledger."""
+        return LossStats(
+            retx_tx_frames=float(self.retx_tx_frames[i, j]),
+            retx_rx_frames=float(self.retx_rx_frames[i, j]),
+            backoff_s=float(self.backoff_s[i, j]),
+        )
+
     def result(self, i: int, j: int) -> RunResult:
         """The (plan i, policy j) cell as a scalar-walk-shaped RunResult."""
         c = self.compiled[i]
@@ -364,6 +397,7 @@ class GridResult:
             n_candidates=c.n_candidates,
             n_results=c.n_results,
             messages=c.messages,
+            loss=self.loss(i, j),
         )
 
     def combine_policy(self, j: int) -> RunResult:
@@ -393,6 +427,11 @@ class GridResult:
             n_candidates=sum(c.n_candidates for c in self.compiled),
             n_results=sum(c.n_results for c in self.compiled),
             messages=tuple(msgs),
+            loss=LossStats(
+                retx_tx_frames=float(self.retx_tx_frames[:, j].sum()),
+                retx_rx_frames=float(self.retx_rx_frames[:, j].sum()),
+                backoff_s=float(self.backoff_s[:, j].sum()),
+            ),
         )
 
     def dwell(self, j: int) -> NICDwell:
@@ -414,19 +453,22 @@ def _compile_for(
     plans: Sequence[QueryPlan],
     env: Environment,
     network: NetworkConfig,
-    cache: Optional[Dict[tuple, CompiledPlan]] = None,
+    cache: Optional[Dict[tuple, Tuple[QueryPlan, CompiledPlan]]] = None,
 ) -> List[CompiledPlan]:
     """Compile ``plans`` under one framing, reusing ``cache`` when given."""
     key = framing_key(network)
     out = []
     for plan in plans:
         if cache is not None:
+            # Key by object identity, but pin the plan in the entry: a
+            # bare id() key goes stale once the plan is garbage-collected
+            # and CPython hands its address to a different plan.
             ck = (id(plan), key)
             hit = cache.get(ck)
-            if hit is None:
-                hit = compile_plan(plan, env, network)
+            if hit is None or hit[0] is not plan:
+                hit = (plan, compile_plan(plan, env, network))
                 cache[ck] = hit
-            out.append(hit)
+            out.append(hit[1])
         else:
             out.append(compile_plan(plan, env, network))
     return out
@@ -437,7 +479,7 @@ def price_grid(
     policies: Sequence[Policy],
     env: Environment,
     *,
-    compile_cache: Optional[Dict[tuple, CompiledPlan]] = None,
+    compile_cache: Optional[Dict[tuple, Tuple[QueryPlan, CompiledPlan]]] = None,
 ) -> GridResult:
     """Price the full plans x policies grid in one vectorized pass.
 
@@ -470,7 +512,13 @@ def price_grid(
     wall = z()
     d_tx, d_rx, d_idle, d_sleep = z(), z(), z(), z()
     exits_out = np.zeros(shape, dtype=np.int64)
+    retx_tx_out, retx_rx_out, backoff_out = z(), z(), z()
     compiled_ref: List[CompiledPlan] = [None] * n  # type: ignore[list-item]
+
+    # Per-frame retransmission protocol unit cost (cycles/joules for one
+    # reprocessed frame); linear in the frame count, like the scalar walk's
+    # ``client.retx_protocol(extra_frames)``.
+    retx_unit = env.client_cpu.retx_protocol(1.0)
 
     for fkey, cols_j in by_framing.items():
         net = policies[cols_j[0]].network
@@ -507,32 +555,51 @@ def price_grid(
         exits = exits2[:, var]  # (N, Mf)
         txwake = txwake2[:, var]
 
-        tx_s = txb[:, None] / bw[None, :]
-        rx_s = rxb[:, None] / bw[None, :]
+        # Lossy-link expectations: retransmitted bits ride the transfer's
+        # power state, backoff idles the radio, reprocessing charges the
+        # CPU — the exact algebraic regrouping of ``price_plan``'s
+        # ``lossy_tail`` (all terms are identically zero at loss_rate=0,
+        # preserving ideal-channel results bit for bit).
+        r = cols.retx_per_frame[j][None, :]
+        bo = cols.backoff_per_frame_s[j][None, :]
+        txf = a("tx_frames")
+        rxf = a("rx_frames")
+        retx_tx_s = txb[:, None] * r / bw[None, :]
+        retx_rx_s = rxb[:, None] * r / bw[None, :]
+        backoff_s = (txf + rxf)[:, None] * bo
+        retx_frames = (txf + rxf)[:, None] * r
+
+        tx_s = txb[:, None] / bw[None, :] + retx_tx_s
+        rx_s = rxb[:, None] / bw[None, :] + retx_rx_s
         tx_elapsed = tx_s + txwake * lat[None, :]
         quiet_idle = quiet[:, None] * (var == 1)[None, :]
         quiet_sleep = quiet[:, None] * (var == 0)[None, :]
-        idle_s = idle_wait[:, None] + quiet_idle + exits * lat[None, :]
+        idle_s = idle_wait[:, None] + quiet_idle + exits * lat[None, :] + backoff_s
         sleep_s = sleep_wait[:, None] + quiet_sleep
-        blocked_s = wait_s[:, None] + tx_elapsed + rx_s
+        blocked_s = wait_s[:, None] + tx_elapsed + rx_s + backoff_s
 
         e_proc[:, j] = (
-            proc_energy[:, None] + cols.blocked_power_w[j][None, :] * blocked_s
+            proc_energy[:, None]
+            + cols.blocked_power_w[j][None, :] * blocked_s
+            + retx_frames * retx_unit.energy_j
         )
         e_tx[:, j] = cols.tx_power_w[j][None, :] * tx_s
         e_rx[:, j] = cols.receive_w[j][None, :] * rx_s
         e_idle[:, j] = cols.idle_w[j][None, :] * idle_s
         e_sleep[:, j] = cols.sleep_w[j][None, :] * sleep_s
-        c_proc[:, j] = np.broadcast_to(proc_cycles[:, None], (n, j.size))
+        c_proc[:, j] = proc_cycles[:, None] + retx_frames * retx_unit.cycles
         c_tx[:, j] = tx_elapsed * clock
         c_rx[:, j] = rx_s * clock
-        c_wait[:, j] = np.broadcast_to(wait_s[:, None] * clock, (n, j.size))
+        c_wait[:, j] = (wait_s[:, None] + backoff_s) * clock
         wall[:, j] = tx_s + rx_s + idle_s + sleep_s
         d_tx[:, j] = tx_s
         d_rx[:, j] = rx_s
         d_idle[:, j] = idle_s
         d_sleep[:, j] = sleep_s
         exits_out[:, j] = exits.astype(np.int64)
+        retx_tx_out[:, j] = txf[:, None] * r
+        retx_rx_out[:, j] = rxf[:, None] * r
+        backoff_out[:, j] = backoff_s
 
     return GridResult(
         plans=plans,
@@ -553,6 +620,9 @@ def price_grid(
         dwell_idle_s=d_idle,
         dwell_sleep_s=d_sleep,
         sleep_exits=exits_out,
+        retx_tx_frames=retx_tx_out,
+        retx_rx_frames=retx_rx_out,
+        backoff_s=backoff_out,
     )
 
 
@@ -561,7 +631,7 @@ def price_workload_grid(
     policies: Sequence[Policy],
     env: Environment,
     *,
-    compile_cache: Optional[Dict[tuple, CompiledPlan]] = None,
+    compile_cache: Optional[Dict[tuple, Tuple[QueryPlan, CompiledPlan]]] = None,
 ) -> List[RunResult]:
     """Workload-summed results, one per policy, in policy order.
 
@@ -737,6 +807,10 @@ class RunLedger:
         ``distance_m``, ``energy_j`` (per bucket), ``cycles`` (per bucket),
         ``wall_seconds``, ``nic`` (per-state seconds/joules + sleep exits
         from :class:`NICDwell`), ``ops`` (candidates/results/messages).
+        On a lossy link (``loss_rate > 0``) additionally ``loss_rate`` and
+        ``loss`` (retransmitted frames per direction + backoff dwell from
+        :class:`repro.sim.metrics.LossStats`); ideal-channel records keep
+        their pre-loss shape exactly.
     ``bench`` / ``speedup`` / ``note``
         Free-form timings written by the CLI and the benches.
 

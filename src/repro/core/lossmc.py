@@ -1,0 +1,91 @@
+"""Seeded Monte-Carlo oracle for lossy-link pricing.
+
+:func:`repro.core.executor.price_plan` charges the *expected* cost of
+retransmissions in closed form; this module runs the same plan walk with a
+seeded :class:`repro.sim.lossy.LossyChannel` drawing per-frame loss
+outcomes instead.  Because both paths share one walk (the oracle literally
+calls ``price_plan`` with a channel), every deterministic term — compute,
+protocol processing, first transmissions, server waits — is byte-identical,
+and the only stochastic difference is the retransmission tail.  Averaging
+many seeded runs must therefore converge to the closed-form numbers, which
+is exactly what the differential test suite asserts (within binomial
+confidence bounds) for both the scalar and the vectorized grid pricer.
+
+This is a test oracle and a research tool, not a fast path: it simulates
+every frame of every message.  Use the expected-cost engines for sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.executor import Environment, Policy, QueryPlan, RunResult, price_plan
+from repro.sim.lossy import LossyChannel
+from repro.sim.metrics import LossStats
+
+__all__ = ["simulate_plan", "simulate_plans", "mc_mean"]
+
+
+def simulate_plan(
+    plan: QueryPlan,
+    env: Environment,
+    policy: Policy,
+    rng: np.random.Generator,
+) -> RunResult:
+    """Price ``plan`` once with per-frame sampled losses.
+
+    The returned :class:`RunResult` carries the *realized* retransmission
+    counts and backoff dwell in its ``loss`` ledger (integral frame counts,
+    unlike the fractional expectations of the closed-form path).
+    """
+    channel = LossyChannel(policy.network, rng)
+    return price_plan(plan, env, policy, channel=channel)
+
+
+def simulate_plans(
+    plans: Sequence[QueryPlan],
+    env: Environment,
+    policy: Policy,
+    rng: np.random.Generator,
+) -> RunResult:
+    """One sampled pricing pass over a workload, summed like a workload run."""
+    results = [simulate_plan(p, env, policy, rng) for p in plans]
+    return RunResult.combine(results)
+
+
+def mc_mean(
+    plan: QueryPlan,
+    env: Environment,
+    policy: Policy,
+    n_runs: int,
+    seed: Optional[int] = 0,
+) -> RunResult:
+    """Average ``n_runs`` independent sampled pricings of one plan.
+
+    Each run draws from its own :func:`numpy.random.default_rng` spawn so
+    runs are independent yet the whole estimate is reproducible from
+    ``seed``.  The averaged breakdowns estimate the closed-form expectation
+    with standard error shrinking as ``1/sqrt(n_runs)``.
+    """
+    if n_runs <= 0:
+        raise ValueError(f"n_runs must be positive, got {n_runs!r}")
+    root = np.random.default_rng(seed)
+    results: List[RunResult] = [
+        simulate_plan(plan, env, policy, rng) for rng in root.spawn(n_runs)
+    ]
+    total = RunResult.combine(results)
+    k = 1.0 / n_runs
+    return replace(
+        total,
+        energy=total.energy.scaled(k),
+        cycles=total.cycles.scaled(k),
+        wall_seconds=total.wall_seconds * k,
+        loss=LossStats(
+            retx_tx_frames=total.loss.retx_tx_frames * k,
+            retx_rx_frames=total.loss.retx_rx_frames * k,
+            backoff_s=total.loss.backoff_s * k,
+        ),
+    )

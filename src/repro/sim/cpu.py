@@ -230,6 +230,21 @@ class ClientCPU:
         misses = accesses  # compulsory: fresh DMA buffers
         return self._price(instructions, accesses, misses)
 
+    def retx_protocol(self, frames: float) -> ComputeCost:
+        """Protocol cost of retransmitting ``frames`` frames.
+
+        A retransmission replays an already-segmented frame out of buffers
+        that are still resident, so only the per-frame processing
+        (timeout handling, checksum, interrupt) recurs — no per-message
+        setup and no fresh buffer misses.  ``frames`` is fractional under
+        expected-cost pricing and integral under the Monte-Carlo walk; the
+        cost is linear in it either way, which is what lets the batched
+        grid pricer apply it as one multiply.
+        """
+        if frames < 0:
+            raise ValueError(f"negative frame count {frames!r}")
+        return self._price(frames * self.network.per_frame_instructions, 0, 0)
+
     # ------------------------------------------------------------------
     # Blocked-CPU energy (while the NIC transfers or the server computes)
     # ------------------------------------------------------------------

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, fields
 
-__all__ = ["EnergyBreakdown", "CycleBreakdown", "NICDwell"]
+__all__ = ["EnergyBreakdown", "CycleBreakdown", "NICDwell", "LossStats"]
 
 
 @dataclass(frozen=True)
@@ -93,6 +93,41 @@ class NICDwell:
 
     def __add__(self, other: "NICDwell") -> "NICDwell":
         return NICDwell(
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def as_dict(self) -> dict:
+        """All fields as a plain dict (the ledger serializes this)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+@dataclass(frozen=True)
+class LossStats:
+    """What the lossy link cost a run: retransmissions and backoff dwell.
+
+    Under the vectorized expected-cost engine the frame counts are
+    *expectations* (fractional); under the seeded Monte-Carlo oracle they
+    are the integral counts that actually occurred.  Either way they ride
+    the run-ledger's ``run`` events so a loss sweep is diagnosable without
+    re-running against an ideal channel.
+    """
+
+    #: Frames retransmitted on the uplink (expected or sampled).
+    retx_tx_frames: float = 0.0
+    #: Frames retransmitted on the downlink.
+    retx_rx_frames: float = 0.0
+    #: Seconds the NIC idled in retransmission backoff.
+    backoff_s: float = 0.0
+
+    def total_retx_frames(self) -> float:
+        """Retransmitted frames across both directions."""
+        return self.retx_tx_frames + self.retx_rx_frames
+
+    def __add__(self, other: "LossStats") -> "LossStats":
+        return LossStats(
             **{
                 f.name: getattr(self, f.name) + getattr(other, f.name)
                 for f in fields(self)

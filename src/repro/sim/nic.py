@@ -63,6 +63,13 @@ class NIC:
     )
     #: Count of SLEEP exits (each costs the exit latency).
     sleep_exits: int = 0
+    #: Frames retransmitted on the uplink (fractional under expected-cost
+    #: pricing, integral under the Monte-Carlo walk).
+    tx_retx_frames: float = 0.0
+    #: Frames retransmitted on the downlink.
+    rx_retx_frames: float = 0.0
+    #: Seconds spent idling in retransmission backoff (subset of IDLE time).
+    backoff_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.radio.power_table is not self.power_table:
@@ -129,6 +136,35 @@ class NIC:
             )
         self.state = NICState.RECEIVE
         return self._spend(NICState.RECEIVE, bits / bandwidth_bps)
+
+    def retransmit(self, bits: float, bandwidth_bps: float, frames: float = 1.0) -> float:
+        """Retransmit ``frames`` lost frames totalling ``bits`` on the uplink.
+
+        Time and energy land in the TRANSMIT state exactly as a first
+        transmission would (the radio cannot tell the difference); the
+        ledger additionally counts the frames so loss observability does
+        not require diffing against an ideal-channel run.
+        """
+        if frames < 0:
+            raise ValueError(f"negative frame count {frames!r}")
+        self.tx_retx_frames += frames
+        return self.transmit(bits, bandwidth_bps)
+
+    def rereceive(self, bits: float, bandwidth_bps: float, frames: float = 1.0) -> float:
+        """Receive ``frames`` retransmitted frames on the downlink."""
+        if frames < 0:
+            raise ValueError(f"negative frame count {frames!r}")
+        self.rx_retx_frames += frames
+        return self.receive(bits, bandwidth_bps)
+
+    def backoff(self, seconds: float) -> float:
+        """Dwell in retransmission backoff (IDLE: the radio awaits the ACK).
+
+        Charged at idle power like any other listening wait, but tracked
+        separately so the run-ledger can report backoff dwell on its own.
+        """
+        self.backoff_s += seconds
+        return self.idle(seconds)
 
     def idle(self, seconds: float) -> float:
         """Stay idle (channel-sensing) for ``seconds``."""

@@ -71,15 +71,27 @@ def packetize(payload_bytes: int, net: NetworkConfig = DEFAULT_NETWORK) -> WireM
     )
 
 
-def transfer_seconds(msg: WireMessage, bandwidth_bps: float) -> float:
+def transfer_seconds(
+    msg: WireMessage, bandwidth_bps: float, retx_per_frame: float = 0.0
+) -> float:
     """Wire time of ``msg`` at the effective delivered bandwidth ``B``.
 
     Channel errors, MAC contention and modulation effects are folded into
-    the *effective* bandwidth, per the paper.
+    the *effective* bandwidth, per the paper.  On a lossy link, pass the
+    expected retransmissions per frame
+    (:attr:`repro.sim.lossy.RetxExpectation.retx_per_frame`): every frame
+    is resent ``retx_per_frame`` times in expectation, so the wire time
+    scales by ``1 + retx_per_frame`` (backoff dwell is accounted
+    separately — the channel is free while the sender waits out a
+    timeout).
     """
     if bandwidth_bps <= 0:
         raise ValueError(f"bandwidth must be positive, got {bandwidth_bps!r}")
-    return msg.wire_bits / bandwidth_bps
+    if retx_per_frame < 0:
+        raise ValueError(
+            f"retx_per_frame must be >= 0, got {retx_per_frame!r}"
+        )
+    return msg.wire_bits * (1.0 + retx_per_frame) / bandwidth_bps
 
 
 def protocol_instructions(msg: WireMessage, net: NetworkConfig = DEFAULT_NETWORK) -> float:

@@ -6,8 +6,8 @@ import pytest
 
 from repro.bench.figures import Fig10Row
 from repro.bench.report import ascii_chart, render_fig10, render_rows, render_sweep
+from repro.api import Session
 from repro.core.executor import Policy
-from repro.core.experiment import bandwidth_sweep
 from repro.core.schemes import Scheme, SchemeConfig
 from repro.data.workloads import range_queries
 
@@ -32,12 +32,11 @@ class TestRenderSweep:
 
         env = Environment.create(pa_small, tree=pa_small_tree)
         qs = range_queries(pa_small, 3, seed=103)
-        return bandwidth_sweep(
+        return Session(env).run(
             qs,
-            [SchemeConfig(Scheme.FULLY_SERVER, data_at_client=True)],
-            env,
-            bandwidths_mbps=(2, 11),
-        )
+            schemes=[SchemeConfig(Scheme.FULLY_SERVER, data_at_client=True)],
+            policies=Policy.sweep(bandwidths_mbps=(2, 11)),
+        ).cells()
 
     def test_contains_schemes_and_bandwidths(self, sweep):
         out = render_sweep(sweep, "T")

@@ -1,4 +1,11 @@
-"""Sweep harness: plan-once/price-many equivalence and bookkeeping."""
+"""Legacy sweep-harness shims: equivalence, bookkeeping, deprecation.
+
+These entry points are deprecated in favour of :class:`repro.api.Session`
+(the rest of the suite uses the facade); this module deliberately keeps
+exercising the shims, asserting both their behaviour and that each one
+warns.  The pytest config escalates the shims' DeprecationWarning to an
+error, so an unwrapped call anywhere else in the suite fails loudly.
+"""
 
 from __future__ import annotations
 
@@ -24,9 +31,11 @@ class TestPlanPriceEquivalence:
     def test_replan_equals_plan_once(self, env_small, pa_small):
         """Pricing a cached plan at bandwidth B equals executing at B."""
         qs = range_queries(pa_small, 5, seed=43)
-        plans = plan_workload(qs, FS, env_small)
+        with pytest.warns(DeprecationWarning, match="plan_workload"):
+            plans = plan_workload(qs, FS, env_small)
         policy = Policy().with_bandwidth(6 * MBPS)
-        swept = price_workload(plans, env_small, policy)
+        with pytest.warns(DeprecationWarning, match="price_workload"):
+            swept = price_workload(plans, env_small, policy)
         env_small.reset_caches()
         direct = [execute(q, FS, env_small, policy) for q in qs]
         total_e = sum(r.energy.total() for r in direct)
@@ -38,9 +47,13 @@ class TestPlanPriceEquivalence:
 class TestBandwidthSweep:
     def test_grid_shape(self, env_small, pa_small):
         qs = range_queries(pa_small, 3, seed=47)
-        out = bandwidth_sweep(
-            qs, ADEQUATE_MEMORY_CONFIGS[:2], env_small, bandwidths_mbps=(2, 11)
-        )
+        with pytest.warns(DeprecationWarning, match="bandwidth_sweep"):
+            out = bandwidth_sweep(
+                qs,
+                ADEQUATE_MEMORY_CONFIGS[:2],
+                env_small,
+                bandwidths_mbps=(2, 11),
+            )
         assert len(out) == 2
         for cells in out.values():
             assert [c.bandwidth_mbps for c in cells] == [2, 11]
@@ -48,13 +61,15 @@ class TestBandwidthSweep:
     def test_fully_client_flat_in_bandwidth(self, env_small, pa_small):
         qs = range_queries(pa_small, 3, seed=47)
         fc = SchemeConfig(Scheme.FULLY_CLIENT)
-        cells = bandwidth_sweep(qs, [fc], env_small)[fc.label]
+        with pytest.warns(DeprecationWarning, match="bandwidth_sweep"):
+            cells = bandwidth_sweep(qs, [fc], env_small)[fc.label]
         energies = {round(c.energy_j, 15) for c in cells}
         assert len(energies) == 1
 
     def test_communication_schemes_fall_with_bandwidth(self, env_small, pa_small):
         qs = range_queries(pa_small, 3, seed=47)
-        cells = bandwidth_sweep(qs, [FS], env_small)[FS.label]
+        with pytest.warns(DeprecationWarning, match="bandwidth_sweep"):
+            cells = bandwidth_sweep(qs, [FS], env_small)[FS.label]
         energies = [c.energy_j for c in cells]
         cycles = [c.cycles for c in cells]
         assert energies == sorted(energies, reverse=True)
@@ -62,7 +77,8 @@ class TestBandwidthSweep:
 
     def test_cell_accessors(self, env_small, pa_small):
         qs = range_queries(pa_small, 2, seed=47)
-        cell = bandwidth_sweep(qs, [FS], env_small)[FS.label][0]
+        with pytest.warns(DeprecationWarning, match="bandwidth_sweep"):
+            cell = bandwidth_sweep(qs, [FS], env_small)[FS.label][0]
         assert isinstance(cell, SweepCell)
         assert cell.energy_j == cell.result.energy.total()
         assert cell.cycles == cell.result.cycles.total()
@@ -72,7 +88,8 @@ class TestBandwidthSweep:
 class TestCachedWorkloadPlanning:
     def test_session_statistics_returned(self, env_small, pa_small):
         qs = proximity_sequence(pa_small, y=4, n_groups=2, seed=49)
-        plans, session = plan_cached_workload(qs, env_small, 256 * 1024)
+        with pytest.warns(DeprecationWarning, match="plan_cached_workload"):
+            plans, session = plan_cached_workload(qs, env_small, 256 * 1024)
         assert len(plans) == len(qs)
         assert session.misses >= 1
         # Every query is either a local hit or a miss (fallbacks are a

@@ -59,10 +59,15 @@ def plan_pool(grid_env):
     return pool
 
 
-def _policy(bw_mbps, dist, nic_sleep, busy, low, mtu):
+def _policy(bw_mbps, dist, nic_sleep, busy, low, mtu, loss, burst, retx_t0):
     return Policy(
         network=NetworkConfig(
-            bandwidth_bps=bw_mbps * MBPS, distance_m=dist, mtu_bytes=mtu
+            bandwidth_bps=bw_mbps * MBPS,
+            distance_m=dist,
+            mtu_bytes=mtu,
+            loss_rate=loss,
+            loss_burst_frames=burst,
+            retx_timeout_s=retx_t0,
         ),
         nic_sleep=nic_sleep,
         busy_wait=busy,
@@ -78,6 +83,13 @@ policy_strategy = st.builds(
     busy=st.booleans(),
     low=st.booleans(),
     mtu=st.sampled_from([576, 1500, 2272]),
+    loss=st.one_of(
+        st.just(0.0), st.floats(min_value=0.0, max_value=0.5, allow_nan=False)
+    ),
+    burst=st.one_of(
+        st.none(), st.floats(min_value=1.0, max_value=12.0, allow_nan=False)
+    ),
+    retx_t0=st.floats(min_value=0.0, max_value=0.1, allow_nan=False),
 )
 
 
@@ -99,6 +111,13 @@ def _assert_cell_matches(ref, got, rel=1e-9):
     assert math.isclose(
         got.wall_seconds, ref.wall_seconds, rel_tol=rel, abs_tol=1e-12
     )
+    for name in ("retx_tx_frames", "retx_rx_frames", "backoff_s"):
+        assert math.isclose(
+            getattr(got.loss, name),
+            getattr(ref.loss, name),
+            rel_tol=rel,
+            abs_tol=1e-12,
+        ), name
     assert got.messages == ref.messages
     assert np.array_equal(got.answer_ids, ref.answer_ids)
 

@@ -1,0 +1,97 @@
+"""Policy.sweep grids and the with_loss constructor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constants import BANDWIDTHS_MBPS, MBPS
+from repro.core.executor import Policy
+
+
+class TestSweepGrid:
+    def test_default_grid_is_paper_bandwidths_at_one_distance(self):
+        policies = Policy.sweep()
+        assert [p.network.bandwidth_bps / MBPS for p in policies] == list(
+            BANDWIDTHS_MBPS
+        )
+        assert {p.network.distance_m for p in policies} == {1000.0}
+        assert all(p.network.loss_rate == 0.0 for p in policies)
+
+    def test_loss_rates_none_builds_the_exact_pre_loss_grid(self):
+        # The default sweep must be indistinguishable from one that never
+        # heard of the loss knobs.
+        assert Policy.sweep() == Policy.sweep(loss_rates=None)
+        assert Policy.sweep(loss_rates=(0.0,)) == Policy.sweep()
+
+    def test_order_is_distance_major_then_loss_then_bandwidth(self):
+        policies = Policy.sweep(
+            bandwidths_mbps=(2, 11),
+            distances_m=(100.0, 1000.0),
+            loss_rates=(0.0, 0.1),
+        )
+        key = [
+            (
+                p.network.distance_m,
+                p.network.loss_rate,
+                p.network.bandwidth_bps / MBPS,
+            )
+            for p in policies
+        ]
+        assert key == [
+            (100.0, 0.0, 2.0),
+            (100.0, 0.0, 11.0),
+            (100.0, 0.1, 2.0),
+            (100.0, 0.1, 11.0),
+            (1000.0, 0.0, 2.0),
+            (1000.0, 0.0, 11.0),
+            (1000.0, 0.1, 2.0),
+            (1000.0, 0.1, 11.0),
+        ]
+
+    def test_burst_frames_applies_to_every_lossy_policy(self):
+        policies = Policy.sweep(loss_rates=(0.05, 0.1), loss_burst_frames=4.0)
+        assert [p.network.loss_burst_frames for p in policies] == (
+            [4.0] * len(policies)
+        )
+
+    def test_invalid_loss_rate_fails_at_sweep_construction(self):
+        with pytest.raises(ValueError, match="loss_rate"):
+            Policy.sweep(loss_rates=(0.0, 1.5))
+
+
+class TestWithLoss:
+    def test_sets_rate_and_leaves_everything_else(self):
+        base = Policy().with_bandwidth(11 * MBPS)
+        lossy = base.with_loss(0.05)
+        assert lossy.network.loss_rate == 0.05
+        assert lossy.network.bandwidth_bps == base.network.bandwidth_bps
+        assert lossy.network.retx_timeout_s == base.network.retx_timeout_s
+        assert lossy.nic_sleep == base.nic_sleep
+
+    def test_loss_mode_is_respecified_on_every_call(self):
+        burst = Policy().with_loss(0.1, burst_frames=5.0)
+        assert burst.network.loss_burst_frames == 5.0
+        # Omitting burst_frames on the next call reverts to Bernoulli
+        # rather than silently inheriting the burst mode.
+        assert burst.with_loss(0.1).network.loss_burst_frames is None
+
+    def test_retransmission_knobs(self):
+        p = Policy().with_loss(
+            0.2, timeout_s=0.05, backoff=3.0, timeout_cap_s=2.0
+        )
+        assert p.network.retx_timeout_s == 0.05
+        assert p.network.retx_backoff == 3.0
+        assert p.network.retx_timeout_cap_s == 2.0
+
+    def test_zero_restores_the_ideal_channel(self):
+        assert Policy().with_loss(0.1).with_loss(0.0) == Policy()
+
+    def test_invalid_values_raise(self):
+        with pytest.raises(ValueError, match="loss_rate"):
+            Policy().with_loss(-0.1)
+        with pytest.raises(ValueError, match="loss_burst_frames"):
+            Policy().with_loss(0.1, burst_frames=0.5)
+        with pytest.raises(ValueError, match="retx_backoff"):
+            Policy().with_loss(0.1, backoff=0.9)
+        with pytest.raises(ValueError, match="retx_timeout_s"):
+            Policy().with_loss(0.1, timeout_s=-1.0)

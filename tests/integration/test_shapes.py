@@ -10,14 +10,9 @@ from __future__ import annotations
 
 import pytest
 
+from repro.api import Session
 from repro.constants import BANDWIDTHS_MBPS, DEFAULT_CLIENT, MBPS, MHZ
 from repro.core.executor import Environment, Policy
-from repro.core.experiment import (
-    bandwidth_sweep,
-    plan_cached_workload,
-    plan_workload,
-    price_workload,
-)
 from repro.core.schemes import ADEQUATE_MEMORY_CONFIGS, Scheme, SchemeConfig
 from repro.data.workloads import (
     nn_queries,
@@ -42,7 +37,9 @@ def _by_bw(cells):
 @pytest.fixture(scope="module")
 def range_sweep_pa(pa_full_env, pa_full):
     qs = range_queries(pa_full, 100)
-    return bandwidth_sweep(qs, ADEQUATE_MEMORY_CONFIGS, pa_full_env)
+    return Session(pa_full_env).run(
+        qs, schemes=ADEQUATE_MEMORY_CONFIGS
+    ).cells()
 
 
 class TestFig4PointQueries:
@@ -52,7 +49,7 @@ class TestFig4PointQueries:
     def sweep(self, pa_full_env, pa_full):
         qs = point_queries(pa_full, 100)
         configs = [FC, FS_ABSENT, FC_RS_ABSENT, FS_RC]
-        return bandwidth_sweep(qs, configs, pa_full_env)
+        return Session(pa_full_env).run(qs, schemes=configs).cells()
 
     def test_fully_client_wins_energy_everywhere(self, sweep):
         fc = sweep[FC.label][0].energy_j
@@ -156,7 +153,7 @@ class TestFig6NNQueries:
     @pytest.fixture(scope="class")
     def sweep(self, pa_full_env, pa_full):
         qs = nn_queries(pa_full, 100)
-        return bandwidth_sweep(qs, [FC, FS_PRESENT], pa_full_env)
+        return Session(pa_full_env).run(qs, schemes=[FC, FS_PRESENT]).cells()
 
     def test_fully_client_wins_both_metrics(self, sweep):
         fc = sweep[FC.label][0]
@@ -172,7 +169,7 @@ class TestFig7NYCSensitivity:
     def sweeps(self, pa_full, nyc_full, range_sweep_pa):
         nyc_env = Environment.create(nyc_full)
         qs = range_queries(nyc_full, 100)
-        nyc = bandwidth_sweep(qs, ADEQUATE_MEMORY_CONFIGS, nyc_env)
+        nyc = Session(nyc_env).run(qs, schemes=ADEQUATE_MEMORY_CONFIGS).cells()
         return range_sweep_pa, nyc
 
     def test_nyc_selectivity_below_pa(self, sweeps):
@@ -237,10 +234,9 @@ class TestFig8ClientSpeed:
     def test_fully_client_time_shrinks_with_clock(self, envs, pa_full):
         slow, fast = envs
         qs = range_queries(pa_full, 30)
-        ps = plan_workload(qs, FC, slow)
-        pf = plan_workload(qs, FC, fast)
-        rs = price_workload(ps, slow, Policy())
-        rf = price_workload(pf, fast, Policy())
+        slow_session, fast_session = Session(slow), Session(fast)
+        rs = slow_session.price(slow_session.plan(qs, FC), Policy())[0]
+        rf = fast_session.price(fast_session.plan(qs, FC), Policy())[0]
         assert rf.wall_seconds == pytest.approx(rs.wall_seconds / 4, rel=0.01)
         # Cycle counts are clock-invariant (Fig. 8 caption).
         assert rf.cycles.processor == pytest.approx(rs.cycles.processor, rel=1e-9)
@@ -249,11 +245,10 @@ class TestFig8ClientSpeed:
         """'saving on performance with little impact on energy'."""
         slow, fast = envs
         qs = range_queries(pa_full, 30)
+        slow_session, fast_session = Session(slow), Session(fast)
         for cfg in (FC, FS_PRESENT):
-            ps = plan_workload(qs, cfg, slow)
-            pf = plan_workload(qs, cfg, fast)
-            rs = price_workload(ps, slow, Policy())
-            rf = price_workload(pf, fast, Policy())
+            rs = slow_session.price(slow_session.plan(qs, cfg), Policy())[0]
+            rf = fast_session.price(fast_session.plan(qs, cfg), Policy())[0]
             # The paper: 'the overall energy is not significantly affected'.
             # Second-order effects (blocked power scales with clock, NIC
             # sleep time shrinks with compute time) move totals by ~15-20%.
@@ -265,9 +260,12 @@ class TestFig9Distance:
 
     def test_tx_energy_scales_with_distance_power(self, pa_full_env, pa_full):
         qs = range_queries(pa_full, 30)
-        plans = plan_workload(qs, FC_RS, pa_full_env)
-        far = price_workload(plans, pa_full_env, Policy().with_distance(1000.0))
-        near = price_workload(plans, pa_full_env, Policy().with_distance(100.0))
+        session = Session(pa_full_env)
+        plans = session.plan(qs, FC_RS)
+        far, near = session.price(
+            plans,
+            [Policy().with_distance(1000.0), Policy().with_distance(100.0)],
+        )
         assert far.energy.nic_tx / near.energy.nic_tx == pytest.approx(
             3.0891 / 1.0891, rel=1e-6
         )
@@ -280,12 +278,14 @@ class TestFig9Distance:
         within striking distance at 11 Mbps (the paper: 'much more
         competitive')."""
         qs = range_queries(pa_full, 100)
-        plans_b = plan_workload(qs, FC_RS, pa_full_env)
-        plans_fc = plan_workload(qs, FC, pa_full_env)
+        session = Session(pa_full_env)
+        plans_b = session.plan(qs, FC_RS)
+        plans_fc = session.plan(qs, FC)
         pol = Policy().with_bandwidth(11 * MBPS)
-        b_far = price_workload(plans_b, pa_full_env, pol.with_distance(1000.0))
-        b_near = price_workload(plans_b, pa_full_env, pol.with_distance(100.0))
-        fc = price_workload(plans_fc, pa_full_env, pol)
+        b_far, b_near = session.price(
+            plans_b, [pol.with_distance(1000.0), pol.with_distance(100.0)]
+        )
+        fc = session.price(plans_fc, pol)[0]
         ratio_far = b_far.energy.total() / fc.energy.total()
         ratio_near = b_near.energy.total() / fc.energy.total()
         assert ratio_near < ratio_far / 2
@@ -297,17 +297,17 @@ class TestFig10InsufficientMemory:
     @pytest.fixture(scope="class")
     def curves(self, pa_full):
         env = Environment.create(pa_full)
+        api = Session(env)
         policy = Policy().with_bandwidth(11 * MBPS)
         out = {}
         for budget in (1 << 20, 2 << 20):
             rows = []
             for y in (0, 40, 80, 120, 160, 200):
                 qs = proximity_sequence(pa_full, y=y, n_groups=1, seed=23)
-                plans, session = plan_cached_workload(qs, env, budget)
-                client = price_workload(plans, env, policy)
-                env.reset_caches()
-                server_plans = plan_workload(qs, FS_ABSENT, env)
-                server = price_workload(server_plans, env, policy)
+                plans, session = api.plan_cached(qs, budget)
+                client = api.price(plans, policy)[0]
+                server_plans = api.plan(qs, FS_ABSENT)
+                server = api.price(server_plans, policy)[0]
                 rows.append((y, client, server, session))
             out[budget] = rows
         return out
