@@ -7,6 +7,7 @@ the paper-shaped table and archives it under ``benchmarks/results/``.
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
@@ -51,5 +52,20 @@ def save_report():
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
         print()
         print(text)
+
+    return _save
+
+
+@pytest.fixture(scope="session")
+def save_json():
+    """Write a machine-readable record to benchmarks/results/<name>.json."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, record: dict) -> pathlib.Path:
+        path = RESULTS_DIR / f"{name}.json"
+        with path.open("w") as fh:
+            json.dump(record, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return path
 
     return _save

@@ -19,7 +19,7 @@ from repro.data.workloads import DEFAULT_RUNS, range_queries
 SPEEDUP_FLOOR = 3.0
 
 
-def test_fig5_sweep_batched_speedup(pa_env, save_report):
+def test_fig5_sweep_batched_speedup(pa_env, save_report, save_json):
     qs = range_queries(pa_env.dataset, DEFAULT_RUNS)
     policies = Policy.sweep()
     ledger = RunLedger()
@@ -62,6 +62,20 @@ def test_fig5_sweep_batched_speedup(pa_env, save_report):
         max_rel_err=worst,
     )
     save_report("grid_speedup", summarize_ledger(ledger.records))
+    save_json(
+        "BENCH_grid",
+        {
+            "benchmark": "grid_speedup",
+            "dataset": pa_env.dataset.name,
+            "sweep": "fig5",
+            "n_queries": len(qs),
+            "n_configs": len(ADEQUATE_MEMORY_CONFIGS),
+            "scalar_seconds": scalar_s,
+            "batched_seconds": batched_s,
+            "speedup": speedup,
+            "max_rel_err": worst,
+        },
+    )
 
     assert worst < 1e-9
     assert speedup >= SPEEDUP_FLOOR, (

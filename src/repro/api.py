@@ -44,6 +44,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.constants import MBPS
+from repro.core.batchplan import PhaseDataCache, plan_workload_batched
 from repro.core.clientcache import ClientCacheSession
 from repro.core.executor import (
     Environment,
@@ -64,11 +65,17 @@ from repro.core.schemes import SchemeConfig
 from repro.data.model import SegmentDataset
 from repro.sim.metrics import NICDwell
 
-__all__ = ["Session", "RunTable", "RunRow", "SweepCell", "ENGINES"]
+__all__ = ["Session", "RunTable", "RunRow", "SweepCell", "ENGINES", "PLANNERS"]
 
 #: Pricing engines a session can run: ``"batched"`` is the vectorized
 #: grid pricer (the default), ``"scalar"`` the per-step oracle walk.
 ENGINES = ("batched", "scalar")
+
+#: Planners a session can use: ``"batched"`` traverses and refines the whole
+#: workload at once (:mod:`repro.core.batchplan`, the default), ``"scalar"``
+#: walks one query at a time through ``plan_query``.  Both produce
+#: bit-identical plans; the differential suite holds them to that.
+PLANNERS = ("batched", "scalar")
 
 
 @dataclass(frozen=True)
@@ -252,6 +259,7 @@ class Session:
         self.ledger = ledger
         self._fingerprint: Optional[str] = None
         self._compile_cache: Dict[tuple, object] = {}
+        self._phase_cache: Optional[PhaseDataCache] = None
 
     # ------------------------------------------------------------------
     @property
@@ -285,12 +293,30 @@ class Session:
         return out
 
     # ------------------------------------------------------------------
+    @property
+    def phase_cache(self) -> PhaseDataCache:
+        """Per-query phase work, memoized across schemes and plan calls.
+
+        Created lazily (keyed to the dataset fingerprint) and handed to the
+        batched planner so that identical queries — within a workload, or
+        across repeated ``plan``/``run`` calls — have their filter/refine
+        phases computed once.
+        """
+        if self._phase_cache is None:
+            self._phase_cache = PhaseDataCache(self.fingerprint)
+        return self._phase_cache
+
+    def _plan_serial(self, queries: List[Query], scheme: SchemeConfig) -> List[QueryPlan]:
+        """One scheme's workload through the scalar per-query planner."""
+        return [plan_query(q, scheme, self.env) for q in queries]
+
     def plan(
         self,
         workload: Union[Query, Sequence[Query]],
         scheme: SchemeConfig,
         *,
         reset_caches: bool = True,
+        planner: str = "batched",
     ) -> List[QueryPlan]:
         """Plan a workload under one scheme, through the plan cache.
 
@@ -298,33 +324,86 @@ class Session:
         the workload boundary, as the sweep harness always did; only these
         reproducible plans are cached.  ``reset_caches=False`` plans against
         the environment's current warm state and bypasses the cache.
+        ``planner`` selects the batched or scalar implementation
+        (:data:`PLANNERS`); both produce bit-identical plans.
+        """
+        return self.plan_grid(
+            workload, scheme, reset_caches=reset_caches, planner=planner
+        )[0]
+
+    def plan_grid(
+        self,
+        workload: Union[Query, Sequence[Query]],
+        schemes: Union[SchemeConfig, Sequence[SchemeConfig]],
+        *,
+        reset_caches: bool = True,
+        planner: str = "batched",
+    ) -> List[List[QueryPlan]]:
+        """Plan a workload under several schemes, sharing per-query work.
+
+        The batched planner computes each distinct query's filter/refine
+        phases once (through :attr:`phase_cache`) and assembles every
+        scheme's plans from them; schemes already in the plan cache are not
+        re-planned.  Returns one plan list per scheme, in scheme order, and
+        records one ledger ``plan`` event per scheme.
         """
         queries = self._as_queries(workload)
-        start = time.perf_counter()
-        cache_hit = False
-        if reset_caches:
-            plans = self.plan_cache.get(self.fingerprint, queries, scheme)
-            if plans is None:
-                self.env.reset_caches()
-                plans = [plan_query(q, scheme, self.env) for q in queries]
-                self.plan_cache.put(self.fingerprint, queries, scheme, plans)
-            else:
-                cache_hit = True
-        else:
-            plans = [plan_query(q, scheme, self.env) for q in queries]
-        if self.ledger is not None:
-            self.ledger.record(
-                "plan",
-                dataset=self.dataset.name,
-                scheme=scheme.label,
-                n_queries=len(queries),
-                seconds=time.perf_counter() - start,
-                cache_hit=cache_hit,
-                cache_hits=self.plan_cache.hits,
-                cache_misses=self.plan_cache.misses,
-                cache_hit_rate=self.plan_cache.hit_rate,
+        configs = self._as_schemes(schemes)
+        if planner not in PLANNERS:
+            raise ValueError(
+                f"unknown planner {planner!r}; choose from {PLANNERS}"
             )
-        return plans
+        start = time.perf_counter()
+        per_scheme: List[Optional[List[QueryPlan]]] = []
+        missing: List[int] = []
+        for i, config in enumerate(configs):
+            plans = (
+                self.plan_cache.get(self.fingerprint, queries, config)
+                if reset_caches
+                else None
+            )
+            per_scheme.append(plans)
+            if plans is None:
+                missing.append(i)
+        if missing:
+            todo = [configs[i] for i in missing]
+            if planner == "batched":
+                planned = plan_workload_batched(
+                    self.env,
+                    queries,
+                    todo,
+                    reset_caches=reset_caches,
+                    phase_cache=self.phase_cache,
+                )
+            else:
+                planned = []
+                for config in todo:
+                    if reset_caches:
+                        self.env.reset_caches()
+                    planned.append(self._plan_serial(queries, config))
+            for i, plans in zip(missing, planned):
+                per_scheme[i] = plans
+                if reset_caches:
+                    self.plan_cache.put(
+                        self.fingerprint, queries, configs[i], plans
+                    )
+        elapsed = time.perf_counter() - start
+        if self.ledger is not None:
+            planned_seconds = elapsed / len(missing) if missing else 0.0
+            for i, config in enumerate(configs):
+                self.ledger.record(
+                    "plan",
+                    dataset=self.dataset.name,
+                    scheme=config.label,
+                    planner=planner,
+                    n_queries=len(queries),
+                    seconds=planned_seconds if i in missing else 0.0,
+                    cache_hit=i not in missing,
+                    cache_hits=self.plan_cache.hits,
+                    cache_misses=self.plan_cache.misses,
+                    cache_hit_rate=self.plan_cache.hit_rate,
+                )
+        return [plans if plans is not None else [] for plans in per_scheme]
 
     def price(
         self,
@@ -374,11 +453,14 @@ class Session:
         policies: Union[Policy, Sequence[Policy], None] = None,
         engine: str = "batched",
         reset_caches: bool = True,
+        planner: str = "batched",
     ) -> RunTable:
         """Plan and price the full schemes x policies grid.
 
         ``policies=None`` prices the paper's standard bandwidth sweep
-        (:meth:`Policy.sweep`).  Returns a :class:`RunTable`, scheme-major.
+        (:meth:`Policy.sweep`).  Planning goes through :meth:`plan_grid`, so
+        the whole scheme grid shares one batched traversal of the workload.
+        Returns a :class:`RunTable`, scheme-major.
         """
         queries = self._as_queries(workload)
         configs = self._as_schemes(schemes)
@@ -387,9 +469,11 @@ class Session:
             raise ValueError(
                 f"unknown engine {engine!r}; choose from {ENGINES}"
             )
+        grid_plans = self.plan_grid(
+            queries, configs, reset_caches=reset_caches, planner=planner
+        )
         rows: List[RunRow] = []
-        for config in configs:
-            plans = self.plan(queries, config, reset_caches=reset_caches)
+        for config, plans in zip(configs, grid_plans):
             if engine == "batched":
                 start = time.perf_counter()
                 grid = price_grid(
@@ -457,6 +541,7 @@ class Session:
                 "plan",
                 dataset=self.dataset.name,
                 scheme=f"cached-client:{budget_bytes}B",
+                planner="scalar",
                 n_queries=len(queries),
                 seconds=time.perf_counter() - start,
                 cache_hit=False,

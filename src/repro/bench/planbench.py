@@ -1,0 +1,104 @@
+"""Planning-speed benchmark: batched multi-query planner vs the scalar walk.
+
+One measurement routine shared by the ``repro planbench`` CLI command, the
+``benchmarks/test_plan_speedup.py`` gate and the CI bench-smoke step, so all
+three report the same methodology:
+
+* both planners run once untimed first (the first large-allocation pass pays
+  page-fault warm-up that is not planner work);
+* then ``repeats`` timed rounds, scalar and batched interleaved in the same
+  process, taking the **minimum** per planner (the standard noise-robust
+  statistic for a deterministic workload);
+* the batched plans are checked bit-for-bit against the scalar plans with
+  :func:`repro.core.batchplan.plans_equal` before any timing is reported.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Sequence
+
+from repro.core.batchplan import plan_workload_batched, plans_equal
+from repro.core.executor import Environment, QueryPlan, plan_query
+from repro.core.queries import Query
+from repro.core.schemes import SchemeConfig
+
+__all__ = ["measure_plan_speedup", "render_plan_speedup"]
+
+
+def measure_plan_speedup(
+    env: Environment,
+    queries: Sequence[Query],
+    configs: Sequence[SchemeConfig],
+    *,
+    repeats: int = 3,
+) -> Dict[str, object]:
+    """Time scalar vs batched planning of ``queries`` x ``configs``.
+
+    Returns a machine-readable record (the ``BENCH_plan.json`` payload)::
+
+        {"benchmark": "plan_speedup", "dataset": ..., "n_queries": ...,
+         "n_configs": ..., "repeats": ..., "scalar_seconds": ...,
+         "batched_seconds": ..., "speedup": ..., "plans_equal": ...}
+
+    ``plans_equal`` is verified on the warm-up pass; the timed rounds replan
+    from scratch each time (``reset_caches=True`` semantics on both sides).
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    queries = list(queries)
+    configs = list(configs)
+
+    def scalar_once() -> List[List[QueryPlan]]:
+        grid: List[List[QueryPlan]] = []
+        for cfg in configs:
+            env.reset_caches()
+            grid.append([plan_query(q, cfg, env) for q in queries])
+        return grid
+
+    def batched_once() -> List[List[QueryPlan]]:
+        return plan_workload_batched(env, queries, configs)
+
+    # Warm-up (untimed) + the differential check.
+    scalar_grid = scalar_once()
+    batched_grid = batched_once()
+    equal = all(
+        plans_equal(b, s) for b, s in zip(batched_grid, scalar_grid)
+    )
+
+    scalar_s = float("inf")
+    batched_s = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        scalar_once()
+        scalar_s = min(scalar_s, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        batched_once()
+        batched_s = min(batched_s, time.perf_counter() - t0)
+
+    return {
+        "benchmark": "plan_speedup",
+        "dataset": env.dataset.name,
+        "n_queries": len(queries),
+        "n_configs": len(configs),
+        "repeats": repeats,
+        "scalar_seconds": scalar_s,
+        "batched_seconds": batched_s,
+        "speedup": scalar_s / batched_s if batched_s > 0 else float("inf"),
+        "plans_equal": equal,
+    }
+
+
+def render_plan_speedup(record: Dict[str, object]) -> str:
+    """One human-readable block for a :func:`measure_plan_speedup` record."""
+    lines = [
+        "plan_speedup: batched multi-query planner vs scalar plan_query loop",
+        f"  dataset      : {record['dataset']}"
+        f"  ({record['n_queries']} queries x {record['n_configs']} configs,"
+        f" min of {record['repeats']})",
+        f"  scalar       : {record['scalar_seconds']:.3f} s",
+        f"  batched      : {record['batched_seconds']:.3f} s",
+        f"  speedup      : {record['speedup']:.2f}x",
+        f"  plans equal  : {record['plans_equal']}",
+    ]
+    return "\n".join(lines)

@@ -246,6 +246,47 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_planbench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench.planbench import measure_plan_speedup, render_plan_speedup
+    from repro.data.workloads import nn_queries, point_queries, range_queries
+
+    env = _load_env(args.dataset, args.scale)
+    if args.sweep == "fig5":
+        gen, configs = range_queries, list(ADEQUATE_MEMORY_CONFIGS)
+    elif args.sweep == "fig4":
+        from repro.bench.figures import POINT_NN_CONFIGS
+
+        gen, configs = point_queries, list(POINT_NN_CONFIGS)
+    else:
+        gen, configs = nn_queries, [
+            SchemeConfig(Scheme.FULLY_CLIENT),
+            SchemeConfig(Scheme.FULLY_SERVER, data_at_client=True),
+        ]
+    qs = gen(env.dataset, args.runs)
+    record = measure_plan_speedup(env, qs, configs, repeats=args.repeat)
+    record["sweep"] = args.sweep
+    record["scale"] = args.scale
+    print(render_plan_speedup(record))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(record, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"json    : {args.json}")
+    if not record["plans_equal"]:
+        print("FAIL: batched plans differ from scalar plans", file=sys.stderr)
+        return 1
+    if record["speedup"] < 1.0:
+        print(
+            f"FAIL: batched planner slower than scalar "
+            f"({record['speedup']:.2f}x)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
@@ -301,6 +342,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="mean loss-burst length (default: i.i.d. losses)")
     b.add_argument("--ledger", metavar="PATH", default=None,
                    help="write the JSON-lines run-ledger to PATH")
+
+    pb = sub.add_parser(
+        "planbench",
+        help="time batched vs scalar planning; --json PATH writes BENCH_plan.json",
+    )
+    pb.add_argument("--sweep", default="fig5", choices=("fig4", "fig5", "fig6"),
+                    help="which figure workload to plan")
+    pb.add_argument("--runs", type=int, default=100, help="queries per workload")
+    pb.add_argument("--repeat", type=int, default=3,
+                    help="timed rounds per planner (min is reported)")
+    pb.add_argument("--json", metavar="PATH", default=None,
+                    help="write the machine-readable record to PATH")
     return parser
 
 
@@ -310,6 +363,7 @@ _COMMANDS = {
     "query": cmd_query,
     "figure": cmd_figure,
     "bench": cmd_bench,
+    "planbench": cmd_planbench,
 }
 
 

@@ -58,9 +58,9 @@ from repro.core.executor import (
     SendStep,
     ServerComputeStep,
     WaitStep,
-    plan_query,
 )
-from repro.core.queries import Query
+from repro.core.batchplan import plan_workload_batched
+from repro.core.queries import Query, query_key
 from repro.core.schemes import SchemeConfig
 from repro.data.model import SegmentDataset
 from repro.sim.lossy import expected_retx
@@ -662,14 +662,18 @@ def dataset_fingerprint(ds: SegmentDataset) -> str:
     return h.hexdigest()
 
 
-def workload_key(queries: Sequence[Query]) -> Tuple[str, ...]:
+def workload_key(queries: Sequence[Query]) -> Tuple[tuple, ...]:
     """A hashable key for an ordered query sequence.
 
     Plans within a workload are order-dependent (the client D-cache warms
     across queries, as it does on the device), so the cache unit is the
-    whole ordered workload, not the single query.
+    whole ordered workload, not the single query.  Each element is the
+    query's explicit field tuple (:func:`repro.core.queries.query_key`) —
+    kind tag plus coordinates — rather than a ``repr`` string, so the key
+    survives cosmetic ``__repr__`` changes and never conflates queries whose
+    floats print alike.
     """
-    return tuple(repr(q) for q in queries)
+    return tuple(query_key(q) for q in queries)
 
 
 def scheme_key(config: SchemeConfig) -> Tuple[str, bool]:
@@ -759,11 +763,12 @@ def _plan_one_request(req: PlanRequest) -> Dict[str, List[QueryPlan]]:
     only the (picklable) plans travel back.
     """
     env = Environment.create(req.dataset)
-    out: Dict[str, List[QueryPlan]] = {}
-    for config in req.configs:
-        env.reset_caches()
-        out[config.label] = [plan_query(q, config, env) for q in req.queries]
-    return out
+    queries = list(req.queries)
+    configs = list(req.configs)
+    planned = plan_workload_batched(env, queries, configs)
+    return {
+        config.label: plans for config, plans in zip(configs, planned)
+    }
 
 
 def plan_requests(

@@ -33,6 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
+from repro.core.batchplan import plan_workload_batched
 from repro.core.executor import (
     ClientComputeStep,
     Environment,
@@ -42,13 +43,18 @@ from repro.core.executor import (
     SendStep,
     ServerComputeStep,
     WaitStep,
+    plan_query,
     price_plan,
 )
 from repro.sim.metrics import CycleBreakdown, EnergyBreakdown
 from repro.sim.nic import NIC, NICState
 from repro.sim.protocol import packetize
 
-__all__ = ["PipelinedResult", "price_pipelined_workload"]
+__all__ = [
+    "PipelinedResult",
+    "plan_and_price_pipelined",
+    "price_pipelined_workload",
+]
 
 
 @dataclass(frozen=True)
@@ -221,3 +227,31 @@ def price_pipelined_workload(
         wall_seconds=makespan,
         sequential_wall_seconds=sequential_wall,
     )
+
+
+def plan_and_price_pipelined(
+    env: Environment,
+    queries,
+    config,
+    policy: Policy = Policy(),
+    *,
+    planner: str = "batched",
+) -> PipelinedResult:
+    """Plan ``queries`` under one scheme ``config`` and price them pipelined.
+
+    Convenience composition for the streaming-session use case: by default
+    the workload is planned through the batched multi-query planner
+    (:func:`repro.core.batchplan.plan_workload_batched`), which produces
+    plans bit-identical to the scalar path, then priced with cross-query
+    overlap.  Pass ``planner="scalar"`` to fall back to per-query planning
+    (mainly useful for differential testing).
+    """
+    if planner not in ("batched", "scalar"):
+        raise ValueError(f"unknown planner {planner!r}")
+    queries = list(queries)
+    if planner == "batched":
+        plans = plan_workload_batched(env, queries, [config])[0]
+    else:
+        env.reset_caches()
+        plans = [plan_query(q, config, env) for q in queries]
+    return price_pipelined_workload(plans, env, policy)

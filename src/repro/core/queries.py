@@ -21,7 +21,15 @@ from typing import Union
 from repro.spatial.geometry import DEFAULT_EPS
 from repro.spatial.mbr import MBR
 
-__all__ = ["QueryKind", "PointQuery", "RangeQuery", "NNQuery", "KNNQuery", "Query"]
+__all__ = [
+    "QueryKind",
+    "PointQuery",
+    "RangeQuery",
+    "NNQuery",
+    "KNNQuery",
+    "Query",
+    "query_key",
+]
 
 
 class QueryKind(Enum):
@@ -105,3 +113,24 @@ class KNNQuery:
 
 #: Union of the supported query types.
 Query = Union[PointQuery, RangeQuery, NNQuery, KNNQuery]
+
+
+def query_key(q: Query) -> tuple:
+    """A stable identity tuple for one query: kind plus its defining fields.
+
+    This is the hashing/equality contract for every cache keyed on queries
+    (the plan cache's workload keys, the batched planner's phase-dedup
+    cache): an explicit enumeration of the fields that determine the
+    query's answer, rather than ``repr`` formatting, so cache identity can
+    never drift with dataclass cosmetics.
+    """
+    if isinstance(q, PointQuery):
+        return ("point", q.x, q.y, q.eps)
+    if isinstance(q, RangeQuery):
+        r = q.rect
+        return ("range", r.xmin, r.ymin, r.xmax, r.ymax)
+    if isinstance(q, KNNQuery):
+        return ("knn", q.x, q.y, q.k)
+    if isinstance(q, NNQuery):
+        return ("nn", q.x, q.y)
+    raise TypeError(f"unsupported query type {type(q).__name__}")

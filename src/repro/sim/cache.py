@@ -18,9 +18,16 @@ by :mod:`repro.sim.cpu`.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Tuple
+from typing import Iterable, List, Optional, Tuple
 
-__all__ = ["CacheSim"]
+import numpy as np
+
+__all__ = ["CacheSim", "BatchedLRU"]
+
+#: Generations with fewer concurrent sets than this run scalar (see
+#: :meth:`BatchedLRU.run`): below it, a vectorized step costs more in fixed
+#: NumPy overhead than a short Python loop over the same accesses.
+_SCALAR_TAIL_THRESHOLD = 48
 
 
 class CacheSim:
@@ -102,3 +109,442 @@ class CacheSim:
         """Fraction of line touches that missed (0 when untouched)."""
         total = self.accesses
         return self.misses / total if total else 0.0
+
+
+class BatchedLRU:
+    """Exact vectorized replay of many independent LRU traces at once.
+
+    The batched planner needs :class:`CacheSim`'s per-line hit/miss verdicts
+    for every phase of every query in a workload — hundreds of thousands of
+    ``access_line`` calls that dominate scalar planning time.  This class
+    reproduces those verdicts (and the final cache state) bit for bit,
+    replacing the per-access Python loop with a per-*generation* loop: each
+    trace's cache sets become rows of one shared NumPy state matrix, and the
+    k-th access to any given set across all traces is simulated in the same
+    vectorized step.
+
+    Usage: :meth:`add_stream` each line-granular trace (with its cache
+    geometry and optional warm-start state), then :meth:`run` once, then read
+    :meth:`hits` / :meth:`final_sets` per stream.  Streams never share state;
+    each models its own freshly-seeded :class:`CacheSim`.
+
+    Exactness hinges on three facts, each unit-tested against the scalar
+    simulator:
+
+    * true-LRU state is the MRU-ordered tag list per set, updated identically
+      for hit (move to front) and miss (insert at front, drop overflow);
+    * accesses to *different* sets commute, so scheduling by per-set sequence
+      rank preserves every set's own access order while batching across sets
+      (each step touches each set at most once — no lost updates under fancy
+      indexing);
+    * an access immediately repeating the previous tag in its set is a
+      guaranteed hit that leaves the set unchanged, so such runs collapse to
+      their first access before simulation (index traversals are chatty in
+      exactly this way).
+    """
+
+    def __init__(self) -> None:
+        self._streams: List[dict] = []
+        self._n_vsets = 0
+        self._ran = False
+        self._hits: Optional[np.ndarray] = None
+
+    def add_stream(
+        self,
+        lines: np.ndarray,
+        n_sets: int,
+        assoc: int,
+        seed_sets: Optional[List[List[int]]] = None,
+    ) -> int:
+        """Register one line-address trace with its cache geometry.
+
+        ``lines`` is an int array of line-granular addresses in access order
+        (the sequence :meth:`CacheSim.access_line` would see).  ``seed_sets``
+        warm-starts the cache: per-set MRU-*last* tag lists, exactly the
+        ``CacheSim._sets`` layout.  Returns the stream's handle.
+        """
+        if self._ran:
+            raise RuntimeError("add_stream after run()")
+        if n_sets <= 0 or assoc <= 0:
+            raise ValueError("cache geometry parameters must be positive")
+        if seed_sets is not None and len(seed_sets) != n_sets:
+            raise ValueError(f"seed_sets must have {n_sets} entries")
+        lines = np.asarray(lines, dtype=np.int64)
+        self._streams.append(
+            {
+                "lines": lines,
+                "n_sets": n_sets,
+                "assoc": assoc,
+                "offset": self._n_vsets,
+                "seed": seed_sets,
+            }
+        )
+        self._n_vsets += n_sets
+        return len(self._streams) - 1
+
+    def run(self) -> None:
+        """Simulate every registered stream; verdicts become readable."""
+        if self._ran:
+            raise RuntimeError("run() called twice")
+        self._ran = True
+        if not self._streams:
+            self._hits = np.zeros(0, dtype=bool)
+            return
+        if max(s["assoc"] for s in self._streams) <= 4:
+            self._run_closed_form()
+        else:
+            self._run_generational()
+
+    def _run_closed_form(self) -> None:
+        """Hit verdicts from LRU stack distances — no sequential state at all.
+
+        In the dup-collapsed per-set sequence, let ``pv(i)`` be the previous
+        occurrence of access ``i``'s tag (same set).  The tag's LRU stack
+        depth at access ``i`` is the number of *distinct* tags touched in the
+        open interval ``(pv(i), i)`` — i.e. the count of ``j`` there with
+        ``pv(j) <= pv(i)`` (first occurrences since ``pv(i)``) — and the
+        access hits iff that depth is below the associativity.  Two facts
+        close the formula: ``j = pv(i)+1`` satisfies ``pv(j) <= pv(i)``
+        trivially (``pv(j) < j``), and so does ``j = pv(i)+2`` because in a
+        dup-collapsed sequence adjacent tags differ, so ``pv(j) != j-1`` and
+        hence ``pv(j) <= j-2 = pv(i)``.  Hence for assoc 2 the verdict
+        is simply ``i - pv(i) <= 2``, and for assoc 3/4 only the count of
+        small-``pv`` entries in ``[pv(i)+3, i-1]`` remains — answered with a
+        range-minimum (assoc 3) or range-second-minimum (assoc 4) sparse
+        table over ``pv``, all NumPy.  Warm-start seeds are replayed as
+        synthetic prefix accesses (LRU to MRU order recreates the state);
+        their verdicts are discarded.  Verified access-for-access against
+        :class:`CacheSim` by the unit suite.
+        """
+        max_assoc = max(s["assoc"] for s in self._streams)
+        W = np.full((self._n_vsets, max_assoc), -1, dtype=np.int64)
+        self._W = W
+        assoc_row = np.empty(self._n_vsets, dtype=np.int64)
+        syn_vset_parts = []
+        syn_tag_parts = []
+        vset_parts = []
+        tag_parts = []
+        pos = 0
+        for s in self._streams:
+            rows = slice(s["offset"], s["offset"] + s["n_sets"])
+            assoc_row[rows] = s["assoc"]
+            if s["seed"] is not None:
+                for i, ways in enumerate(s["seed"]):
+                    if len(ways) > s["assoc"]:
+                        raise ValueError("seed set exceeds associativity")
+                    if ways:
+                        syn_vset_parts.append(
+                            np.full(len(ways), s["offset"] + i, dtype=np.int64)
+                        )
+                        syn_tag_parts.append(np.asarray(ways, dtype=np.int64))
+            lines = s["lines"]
+            s["slice"] = slice(pos, pos + lines.size)
+            pos += lines.size
+            vset_parts.append(s["offset"] + lines % s["n_sets"])
+            tag_parts.append(lines // s["n_sets"])
+        n_real = pos
+        hits = np.zeros(n_real, dtype=bool)
+        self._hits = hits
+        n_syn = sum(p.size for p in syn_vset_parts)
+        vset = np.concatenate(syn_vset_parts + vset_parts) if n_syn else (
+            np.concatenate(vset_parts)
+        )
+        tag = np.concatenate(syn_tag_parts + tag_parts) if n_syn else (
+            np.concatenate(tag_parts)
+        )
+        n = vset.size
+        if n == 0:
+            return
+
+        # Stable sort by set: synthetic seed accesses were concatenated ahead
+        # of every real trace, so per set they sort first, in LRU->MRU order.
+        # Narrow dtypes get NumPy's radix path, several times faster than the
+        # int64 merge sort at these sizes.
+        if self._n_vsets <= np.iinfo(np.int16).max:
+            order = np.argsort(vset.astype(np.int16), kind="stable")
+        else:
+            order = np.argsort(vset, kind="stable")
+        sv = vset[order]
+        st = tag[order]
+        new_set = np.empty(n, dtype=bool)
+        new_set[0] = True
+        np.not_equal(sv[1:], sv[:-1], out=new_set[1:])
+        # Collapse immediate same-tag repeats: guaranteed hits, no state change.
+        dup = np.zeros(n, dtype=bool)
+        dup[1:] = ~new_set[1:] & (st[1:] == st[:-1])
+        dup_sel = order[dup]
+        hits[dup_sel[dup_sel >= n_syn] - n_syn] = True
+        keep = ~dup
+        ko = order[keep]
+        ksv = sv[keep]
+        ktag = st[keep]
+        m = ko.size
+
+        knew = np.empty(m, dtype=bool)
+        knew[0] = True
+        np.not_equal(ksv[1:], ksv[:-1], out=knew[1:])
+        # The two associativity regimes get separate sub-universes: assoc<=2
+        # needs only the previous-occurrence distance, assoc 3/4 also needs
+        # the range-minimum machinery.  Windows never leave their set, a
+        # set's entries are contiguous in set-major order, and a sub-universe
+        # selects whole sets - so renumbering into either sub-universe is
+        # monotone and same-set distances are preserved.
+        hit_c = np.zeros(m, dtype=bool)
+        tmax = int(ktag.max()) + 1
+        rows34 = assoc_row >= 3
+        if rows34.all():
+            i12 = np.empty(0, dtype=np.int64)
+            i34 = None  # whole universe: skip the renumbering gathers
+        elif not rows34.any():
+            i12 = None
+            i34 = np.empty(0, dtype=np.int64)
+        else:
+            acc34 = rows34[ksv]
+            i34 = np.nonzero(acc34)[0]
+            i12 = np.nonzero(~acc34)[0]
+
+        if i12 is None or i12.size:
+            tg = ktag if i12 is None else ktag[i12]
+            stt = ksv if i12 is None else ksv[i12]
+            o = np.argsort(stt * tmax + tg, kind="stable")
+            sk = (stt * tmax + tg)[o]
+            gi = o if i12 is None else i12[o]
+            same = sk[1:] == sk[:-1]
+            prev = gi[:-1][same]
+            cur = gi[1:][same]
+            # Stack depth is 0 at distance 1 (collapsed away) and 1 at
+            # distance 2, so assoc 2 hits iff the set-major distance is <= 2;
+            # assoc 1 never hits here (distance >= 2 after dup collapse).
+            hit_c[cur[(cur - prev) <= assoc_row[ksv[cur]]]] = True
+
+        if (i34 is None and m > 1) or (i34 is not None and i34.size > 1):
+            M = m if i34 is None else i34.size
+            tg = ktag if i34 is None else ktag[i34]
+            stt = ksv if i34 is None else ksv[i34]
+            o = np.argsort(stt * tmax + tg, kind="stable")
+            sk = (stt * tmax + tg)[o]
+            same = sk[1:] == sk[:-1]
+            prev = o[:-1][same]  # sub-universe coordinates
+            cur = o[1:][same]
+            d = cur - prev
+            near = d <= 3
+            ncur = cur[near]
+            hit_c[ncur if i34 is None else i34[ncur]] = True
+            farq = ~near
+            if farq.any():
+                # pv: previous same-(set, tag) sub-position, -1 for firsts.
+                pv = np.full(M, -1, dtype=np.int64)
+                pv[cur] = prev
+                # Encode (pv, position): a range-min also yields the argmin.
+                enc = (pv + 1) * M + np.arange(M, dtype=np.int64)
+                fp = prev[farq]
+                fq = cur[farq]
+                ql = fp + 3
+                qr = fq - 1
+                lengths = qr - ql + 1
+                levels = int(lengths.max()).bit_length()
+                table = [enc]
+                for k in range(1, levels):
+                    prevt = table[-1]
+                    half = 1 << (k - 1)
+                    table.append(np.minimum(prevt[:-half], prevt[half:]))
+
+                def rmq(lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+                    res = np.empty(lo.size, dtype=np.int64)
+                    ln = hi - lo + 1
+                    for k in range(levels):
+                        grp = (ln >> k) == 1
+                        if grp.any():
+                            t = table[k]
+                            res[grp] = np.minimum(
+                                t[lo[grp]], t[hi[grp] - (1 << k) + 1]
+                            )
+                    return res
+
+                m1 = rmq(ql, qr)
+                val1 = m1 // M - 1
+                pos1 = m1 % M
+                fa = assoc_row[stt[fq]]
+                verdict = np.empty(fq.size, dtype=bool)
+                is3 = fa == 3
+                verdict[is3] = val1[is3] > fp[is3]
+                is4 = ~is3
+                if is4.any():
+                    # Second minimum: best of the two windows flanking the
+                    # argmin of the first.
+                    big = np.int64(np.iinfo(np.int64).max)
+                    val2 = np.full(fq.size, big)
+                    lm = is4 & (pos1 - 1 >= ql)
+                    if lm.any():
+                        val2[lm] = rmq(ql[lm], pos1[lm] - 1) // M - 1
+                    rm = is4 & (pos1 + 1 <= qr)
+                    if rm.any():
+                        val2[rm] = np.minimum(
+                            val2[rm], rmq(pos1[rm] + 1, qr[rm]) // M - 1
+                        )
+                    verdict[is4] = val2[is4] > fp[is4]
+                hit_c[fq if i34 is None else i34[fq]] = verdict
+        real_keep = ko >= n_syn
+        hits[ko[real_keep] - n_syn] = hit_c[real_keep]
+
+        # Final state: per set, the last `assoc` distinct tags, MRU first.
+        gs = np.nonzero(knew)[0]
+        ge = np.append(gs[1:], m)
+        for i in range(gs.size):
+            a, b = int(gs[i]), int(ge[i])
+            row = int(ksv[a])
+            assoc = int(assoc_row[row])
+            chunk = min(b - a, 4 * assoc)
+            while True:
+                found: List[int] = []
+                seen = set()
+                for t in ktag[b - chunk : b].tolist()[::-1]:
+                    if t not in seen:
+                        seen.add(t)
+                        found.append(t)
+                        if len(found) == assoc:
+                            break
+                if len(found) == assoc or chunk == b - a:
+                    break
+                chunk = min(b - a, chunk * 4)
+            W[row, : len(found)] = found
+
+    def _run_generational(self) -> None:
+        """Per-generation state-matrix simulation (any associativity)."""
+        max_assoc = max(s["assoc"] for s in self._streams)
+        # MRU-first tag matrix, one row per (stream, set); -1 = empty way.
+        # Valid tags stay a prefix: insertions happen at column 0 and the
+        # -1 tail only ever shifts right into itself.
+        W = np.full((self._n_vsets, max_assoc), -1, dtype=np.int64)
+        assoc_row = np.empty(self._n_vsets, dtype=np.int64)
+        vset_parts = []
+        tag_parts = []
+        pos = 0
+        for s in self._streams:
+            rows = slice(s["offset"], s["offset"] + s["n_sets"])
+            assoc_row[rows] = s["assoc"]
+            if s["seed"] is not None:
+                for i, ways in enumerate(s["seed"]):
+                    if len(ways) > s["assoc"]:
+                        raise ValueError("seed set exceeds associativity")
+                    for col, t in enumerate(reversed(ways)):
+                        W[s["offset"] + i, col] = t
+            lines = s["lines"]
+            s["slice"] = slice(pos, pos + lines.size)
+            pos += lines.size
+            vset_parts.append(s["offset"] + lines % s["n_sets"])
+            tag_parts.append(lines // s["n_sets"])
+        vset = np.concatenate(vset_parts) if vset_parts else np.zeros(0, np.int64)
+        tag = np.concatenate(tag_parts) if tag_parts else np.zeros(0, np.int64)
+        n = vset.size
+        hits = np.zeros(n, dtype=bool)
+        self._hits = hits
+        if n == 0:
+            return
+
+        # Stable sort by set: per-set temporal order is preserved (streams
+        # are concatenated in access order and sets never cross streams).
+        order = np.argsort(vset, kind="stable")
+        sv = vset[order]
+        st = tag[order]
+        new_set = np.empty(n, dtype=bool)
+        new_set[0] = True
+        np.not_equal(sv[1:], sv[:-1], out=new_set[1:])
+        # Collapse immediate same-tag repeats: guaranteed hits, no state change.
+        dup = np.zeros(n, dtype=bool)
+        dup[1:] = ~new_set[1:] & (st[1:] == st[:-1])
+        hits[order[dup]] = True
+        keep = ~dup
+        ko = order[keep]
+        ksv = sv[keep]
+        m = ko.size
+
+        # Rank of each kept access within its set's sequence; the per-rank
+        # "generations" are the vectorized steps.
+        idx = np.arange(m, dtype=np.int64)
+        knew = np.empty(m, dtype=bool)
+        knew[0] = True
+        np.not_equal(ksv[1:], ksv[:-1], out=knew[1:])
+        group_start = np.maximum.accumulate(np.where(knew, idx, 0))
+        rank = (idx - group_start).astype(np.int32)
+        counts = np.bincount(rank)
+        # counts[r] = number of sets with more than r accesses, so it is
+        # non-increasing: late generations touch only a handful of hot sets,
+        # where a vectorized step is pure overhead.  Vectorize the fat head
+        # of the distribution and finish each hot set's remaining suffix
+        # with a scalar loop (CacheSim's own update, on a short list).
+        cut = int(np.searchsorted(-counts, -_SCALAR_TAIL_THRESHOLD, side="right"))
+        head = rank < cut
+        by_rank = np.argsort(rank[head], kind="stable")
+        head_idx = np.nonzero(head)[0][by_rank]
+        sel = ko[head_idx]
+        rows_all = ksv[head_idx]
+        tags_all = tag[sel]
+        amax_all = assoc_row[rows_all] - 1
+        ends = np.cumsum(counts[:cut])
+        starts = ends - counts[:cut]
+        cols = np.arange(max_assoc, dtype=np.int64)
+        for a, b in zip(starts, ends):
+            rows = rows_all[a:b]
+            tg = tags_all[a:b]
+            w = W[rows]
+            eq = w == tg[:, None]
+            hit = eq.any(axis=1)
+            # Hit: rotate ways [0, hitpos] right with the tag re-inserted at
+            # the front. Miss: same rotation over the full associativity —
+            # insert at front, drop the LRU way (or a -1 filler when the set
+            # is not yet full, which is exactly CacheSim's append).
+            p = np.where(hit, eq.argmax(axis=1), amax_all[a:b])
+            shifted = np.empty_like(w)
+            shifted[:, 1:] = w[:, :-1]
+            shifted[:, 0] = tg
+            W[rows] = np.where(cols[None, :] > p[:, None], w, shifted)
+            hits[sel[a:b]] = hit
+
+        if cut < len(counts):
+            ktag = st[keep]
+            gs = np.nonzero(knew)[0]
+            ge = np.append(gs[1:], m)
+            hot = np.nonzero((ge - gs) > cut)[0]
+            for g in hot:
+                a, b = int(gs[g]) + cut, int(ge[g])
+                row = int(ksv[gs[g]])
+                assoc = int(assoc_row[row])
+                # MRU-first row -> MRU-last list, CacheSim's layout.
+                ways = [int(t) for t in W[row, :assoc][::-1] if t != -1]
+                out = np.empty(b - a, dtype=bool)
+                for j, t in enumerate(ktag[a:b].tolist()):
+                    try:
+                        ways.remove(t)
+                        out[j] = True
+                    except ValueError:
+                        out[j] = False
+                        if len(ways) >= assoc:
+                            ways.pop(0)
+                    ways.append(t)
+                hits[ko[a:b]] = out
+                W[row, :assoc] = -1
+                W[row, : len(ways)] = ways[::-1]
+        self._W = W
+
+    def hits_of(self, stream: int) -> np.ndarray:
+        """Per-access hit verdicts for one stream (True = hit), in order."""
+        if not self._ran:
+            raise RuntimeError("run() not called")
+        return self._hits[self._streams[stream]["slice"]]
+
+    def final_sets(self, stream: int) -> List[List[int]]:
+        """Final cache state for one stream as ``CacheSim._sets`` lists.
+
+        Per-set tag lists, most-recently-used *last* — assignable directly
+        onto a reset :class:`CacheSim` to continue a warm simulation.
+        """
+        if not self._ran:
+            raise RuntimeError("run() not called")
+        s = self._streams[stream]
+        out: List[List[int]] = []
+        for i in range(s["n_sets"]):
+            row = self._W[s["offset"] + i, : s["assoc"]]
+            valid = row[row != -1]
+            out.append([int(t) for t in valid[::-1]])
+        return out

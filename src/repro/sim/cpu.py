@@ -216,6 +216,21 @@ class ClientCPU:
             misses = int(accesses * self.fallback_miss_rate)
         return self._price(instructions, accesses, misses)
 
+    def compute_replayed(
+        self, counter: OpCounter, hits: int, misses: int
+    ) -> ComputeCost:
+        """Price a phase whose trace was already replayed externally.
+
+        The batched planner simulates the D-cache trace with
+        :class:`repro.sim.cache.BatchedLRU` and hands over this phase's
+        hit/miss slice; the arithmetic here must stay the mirror image of the
+        replay branch of :meth:`compute` (note ``accesses`` = hits only,
+        matching what :meth:`_replay_trace` returns there).
+        """
+        int_instr, fp_ops = instruction_counts(counter, self.costs)
+        instructions = int_instr + fp_ops * self.costs.client_fp_emulation_cycles
+        return self._price(instructions, hits, misses)
+
     def protocol(self, msg: WireMessage) -> ComputeCost:
         """Price the protocol processing for one message (send or receive).
 

@@ -127,3 +127,22 @@ class ServerCPU:
             l1_accesses=accesses,
             l1_misses=misses,
         )
+
+    def compute_replayed(
+        self, counter: OpCounter, hits: int, misses: int
+    ) -> ServerCost:
+        """Price a phase whose trace was already replayed externally.
+
+        Mirror of :meth:`compute`'s replay branch for the batched planner
+        (note ``accesses`` = hits + misses here, unlike the client model).
+        """
+        int_instr, fp_ops = instruction_counts(counter, self.costs)
+        instructions = int_instr + fp_ops * self.costs.server_fp_cycles
+        accesses = hits + misses
+        cycles = instructions / self.config.effective_ipc + misses * _L1_MISS_PENALTY
+        return ServerCost(
+            instructions=instructions,
+            cycles=cycles,
+            l1_accesses=accesses,
+            l1_misses=misses,
+        )

@@ -27,7 +27,9 @@ __all__ = [
     "mbr_contains_point",
     "point_segment_distance_sq",
     "segments_contain_point",
+    "segments_contain_points",
     "segments_intersect_rect",
+    "segments_intersect_rects",
 ]
 
 
@@ -92,6 +94,22 @@ def segments_contain_point(
     eps: float = 1e-9,
 ) -> np.ndarray:
     """Mask of segments passing within ``eps`` of ``(px, py)``."""
+    return point_segment_distance_sq(px, py, x1, y1, x2, y2) <= eps * eps
+
+
+def segments_contain_points(
+    px: np.ndarray, py: np.ndarray,
+    x1: np.ndarray, y1: np.ndarray, x2: np.ndarray, y2: np.ndarray,
+    eps: np.ndarray,
+) -> np.ndarray:
+    """Row-wise :func:`segments_contain_point`: one query point per segment.
+
+    All arguments are aligned ``(n,)`` arrays; row ``i`` tests segment ``i``
+    against point ``(px[i], py[i])`` with tolerance ``eps[i]``.  Every
+    arithmetic operation is the same elementwise expression the per-query
+    function evaluates, so the masks agree bit for bit — the batched
+    planner's bulk refinement depends on this (property-tested).
+    """
     return point_segment_distance_sq(px, py, x1, y1, x2, y2) <= eps * eps
 
 
@@ -173,4 +191,76 @@ def segments_intersect_rect(
                         proper[i] = True
         hit |= proper
     result[np.nonzero(undecided)[0][hit]] = True
+    return result
+
+
+def segments_intersect_rects(
+    x1: np.ndarray, y1: np.ndarray, x2: np.ndarray, y2: np.ndarray,
+    rxmin: np.ndarray, rymin: np.ndarray, rxmax: np.ndarray, rymax: np.ndarray,
+) -> np.ndarray:
+    """Row-wise :func:`segments_intersect_rect`: one window per segment.
+
+    All arguments are aligned ``(n,)`` arrays; row ``i`` clips segment ``i``
+    against window ``(rxmin[i], rymin[i], rxmax[i], rymax[i])``.  The
+    batched planner concatenates every query's candidate set and refines
+    them in one call, so each row must evaluate exactly the elementwise
+    arithmetic of the per-query function — including the scalar
+    :func:`repro.spatial.geometry.segments_intersect` fallback for the rare
+    collinear-graze residue (equality is property-tested).
+    """
+    in1 = (rxmin <= x1) & (x1 <= rxmax) & (rymin <= y1) & (y1 <= rymax)
+    in2 = (rxmin <= x2) & (x2 <= rxmax) & (rymin <= y2) & (y2 <= rymax)
+    result = in1 | in2
+
+    both_left = (x1 < rxmin) & (x2 < rxmin)
+    both_right = (x1 > rxmax) & (x2 > rxmax)
+    both_below = (y1 < rymin) & (y2 < rymin)
+    both_above = (y1 > rymax) & (y2 > rymax)
+    rejected = both_left | both_right | both_below | both_above
+
+    undecided = ~result & ~rejected
+    if not np.any(undecided):
+        return result
+
+    u = np.nonzero(undecided)[0]
+    ux1, uy1 = x1[u], y1[u]
+    ux2, uy2 = x2[u], y2[u]
+    uxmin, uymin = rxmin[u], rymin[u]
+    uxmax, uymax = rxmax[u], rymax[u]
+    hit = np.zeros(ux1.shape, dtype=bool)
+    edges = (
+        (uxmin, uymin, uxmax, uymin),
+        (uxmax, uymin, uxmax, uymax),
+        (uxmax, uymax, uxmin, uymax),
+        (uxmin, uymax, uxmin, uymin),
+    )
+    for ex1, ey1, ex2, ey2 in edges:
+        d1 = _cross_sign(ex1, ey1, ex2, ey2, ux1, uy1)
+        d2 = _cross_sign(ex1, ey1, ex2, ey2, ux2, uy2)
+        d3 = _cross_sign(ux1, uy1, ux2, uy2, ex1, ey1)
+        d4 = _cross_sign(ux1, uy1, ux2, uy2, ex2, ey2)
+        proper = ((d1 > 0) != (d2 > 0)) & ((d3 > 0) != (d4 > 0)) & (d1 != 0) & (d2 != 0) & (d3 != 0) & (d4 != 0)
+        graze = (d1 == 0) | (d2 == 0) | (d3 == 0) | (d4 == 0)
+        if np.any(graze):
+            bxmin, bxmax = np.minimum(ex1, ex2), np.maximum(ex1, ex2)
+            bymin, bymax = np.minimum(ey1, ey2), np.maximum(ey1, ey2)
+            overlap = (
+                (np.minimum(ux1, ux2) <= bxmax)
+                & (np.maximum(ux1, ux2) >= bxmin)
+                & (np.minimum(uy1, uy2) <= bymax)
+                & (np.maximum(uy1, uy2) >= bymin)
+            )
+            residue = graze & overlap & ~proper
+            if np.any(residue):
+                from repro.spatial.geometry import segments_intersect
+
+                idx = np.nonzero(residue)[0]
+                for i in idx:
+                    if segments_intersect(
+                        float(ux1[i]), float(uy1[i]), float(ux2[i]), float(uy2[i]),
+                        float(ex1[i]), float(ey1[i]), float(ex2[i]), float(ey2[i]),
+                    ):
+                        proper[i] = True
+        hit |= proper
+    result[u[hit]] = True
     return result

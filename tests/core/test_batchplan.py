@@ -1,0 +1,168 @@
+"""Unit tests for the batched multi-query planner's plumbing.
+
+The bit-for-bit planner equality itself is covered by
+``tests/integration/test_batchplan_differential.py``; this module pins the
+surrounding machinery: the plan-dedup :class:`PhaseDataCache`, the Session
+``plan_grid``/``planner=`` surface and its ledger records, and the explicit
+query/workload cache keys.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import Session
+from repro.core.batchplan import (
+    PhaseDataCache,
+    plan_workload_batched,
+    plans_equal,
+)
+from repro.core.executor import Environment, plan_query
+from repro.core.gridrun import RunLedger, workload_key
+from repro.core.queries import PointQuery, RangeQuery, query_key
+from repro.core.schemes import ADEQUATE_MEMORY_CONFIGS
+from repro.data import tiger
+from repro.data.workloads import range_queries
+from repro.spatial.mbr import MBR
+
+CONFIGS = list(ADEQUATE_MEMORY_CONFIGS[:3])
+
+
+@pytest.fixture(scope="module")
+def env() -> Environment:
+    return Environment.create(tiger.pa_dataset(scale=0.05))
+
+
+@pytest.fixture(scope="module")
+def workload(env):
+    return range_queries(env.dataset, 12, seed=41)
+
+
+# ----------------------------------------------------------------------
+# PhaseDataCache — the plan-dedup layer
+# ----------------------------------------------------------------------
+def test_phase_cache_dedups_repeated_queries(env, workload):
+    cache = PhaseDataCache(fingerprint="x")
+    plan_workload_batched(env, workload, CONFIGS, phase_cache=cache)
+    assert cache.misses == len(workload)
+    assert cache.hits == 0
+    assert len(cache) == len(workload)
+
+    # Same workload again: every phase comes from the cache.
+    plan_workload_batched(env, workload, CONFIGS, phase_cache=cache)
+    assert cache.hits == len(workload)
+    assert cache.misses == len(workload)
+    assert cache.hit_rate == 0.5
+
+
+def test_phase_cache_duplicate_queries_in_one_workload(env):
+    q = range_queries(env.dataset, 1, seed=43)[0]
+    cache = PhaseDataCache(fingerprint="x")
+    plans = plan_workload_batched(env, [q, q, q], CONFIGS, phase_cache=cache)
+    # One distinct query -> one phase computation, shared three ways...
+    assert len(cache) == 1
+    # ...but the *plans* still differ per occurrence (later occurrences see
+    # warmer caches), exactly as the scalar walk prices them.
+    for config, per_config in zip(CONFIGS, plans):
+        env.reset_caches()
+        scalar = [plan_query(q, config, env) for _ in range(3)]
+        assert plans_equal(per_config, scalar)
+
+
+def test_phase_cache_plans_match_uncached(env, workload):
+    cached = plan_workload_batched(
+        env, workload, CONFIGS, phase_cache=PhaseDataCache(fingerprint="x")
+    )
+    # Warm cache from a prior pass, then replan through it.
+    cache = PhaseDataCache(fingerprint="x")
+    plan_workload_batched(env, workload, CONFIGS, phase_cache=cache)
+    warm = plan_workload_batched(env, workload, CONFIGS, phase_cache=cache)
+    for a, b in zip(cached, warm):
+        assert plans_equal(a, b)
+
+
+def test_phase_cache_fifo_bound():
+    cache = PhaseDataCache(max_entries=2)
+    cache.put(("a",), "A")
+    cache.put(("b",), "B")
+    cache.put(("c",), "C")  # evicts ("a",)
+    assert len(cache) == 2
+    assert cache.get(("a",)) is None
+    assert cache.get(("c",)) == "C"
+    with pytest.raises(ValueError):
+        PhaseDataCache(max_entries=0)
+
+
+# ----------------------------------------------------------------------
+# Session surface
+# ----------------------------------------------------------------------
+def test_session_planner_scalar_matches_batched(env, workload):
+    batched = Session(env).plan(workload, CONFIGS[0])
+    scalar = Session(env).plan(workload, CONFIGS[0], planner="scalar")
+    assert plans_equal(batched, scalar)
+
+
+def test_session_rejects_unknown_planner(env, workload):
+    with pytest.raises(ValueError, match="planner"):
+        Session(env).plan(workload, CONFIGS[0], planner="quantum")
+
+
+def test_plan_grid_one_ledger_event_per_scheme(env, workload):
+    ledger = RunLedger()
+    session = Session(env, ledger=ledger)
+    grid = session.plan_grid(workload, CONFIGS)
+    assert len(grid) == len(CONFIGS)
+    events = [r for r in ledger.records if r["event"] == "plan"]
+    assert len(events) == len(CONFIGS)
+    assert all(e["planner"] == "batched" for e in events)
+    assert all(not e["cache_hit"] for e in events)
+
+    # Second call: all schemes come from the plan cache.
+    session.plan_grid(workload, CONFIGS)
+    events = [r for r in ledger.records if r["event"] == "plan"]
+    assert all(e["cache_hit"] for e in events[len(CONFIGS):])
+    assert all(e["seconds"] == 0.0 for e in events[len(CONFIGS):])
+
+
+def test_plan_grid_partial_cache_replans_only_missing(env, workload):
+    session = Session(env)
+    session.plan(workload, CONFIGS[0])
+    h0, m0 = session.plan_cache.hits, session.plan_cache.misses
+    grid = session.plan_grid(workload, CONFIGS)
+    assert session.plan_cache.hits == h0 + 1  # CONFIGS[0] reused
+    assert session.plan_cache.misses == m0 + len(CONFIGS) - 1
+    # And the reused plans are the same objects the cache held.
+    assert plans_equal(grid[0], session.plan(workload, CONFIGS[0]))
+
+
+def test_plan_warm_not_cached(env, workload):
+    session = Session(env)
+    warm = session.plan(workload, CONFIGS[0], reset_caches=False)
+    assert len(warm) == len(workload)
+    # Warm plans bypass the plan cache entirely.
+    assert session.plan_cache.hits == 0
+
+
+def test_phase_cache_bound_to_dataset_fingerprint(env):
+    session = Session(env)
+    assert session.phase_cache.fingerprint == session.fingerprint
+
+
+# ----------------------------------------------------------------------
+# Explicit cache keys
+# ----------------------------------------------------------------------
+def test_query_key_distinguishes_kinds_and_fields():
+    p = PointQuery(1.0, 2.0)
+    r = RangeQuery(MBR(1.0, 2.0, 3.0, 4.0))
+    assert query_key(p) != query_key(r)
+    assert query_key(p) == query_key(PointQuery(1.0, 2.0))
+    assert query_key(p) != query_key(PointQuery(1.0, 2.5))
+
+
+def test_workload_key_is_explicit_field_tuples():
+    qs = [PointQuery(1.0, 2.0), RangeQuery(MBR(0.0, 0.0, 1.0, 1.0))]
+    key = workload_key(qs)
+    assert key == tuple(query_key(q) for q in qs)
+    assert workload_key(list(qs)) == key
+    assert workload_key(qs[:1]) != key

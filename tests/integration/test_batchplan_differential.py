@@ -1,0 +1,201 @@
+"""Differential suite: batched multi-query planner vs the scalar walk.
+
+The batched planner's contract is *bit-for-bit* reproduction of the scalar
+path: identical candidate sets, answer ids, step costs (which embed the
+OpCounter tallies priced through the replayed cache verdicts) and identical
+simulated cache state left behind in the environment.  Every test here
+plans the same workload both ways and asserts
+:func:`repro.core.batchplan.plans_equal` plus cache-state equality.
+
+Covers the fig4 (point), fig5 (range) and fig6 (NN) workload shapes, all
+query kinds mixed in one workload, empty-result and degenerate windows, and
+hypothesis-generated windows over a random dataset.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.bench.figures import POINT_NN_CONFIGS
+from repro.core.batchplan import plan_workload_batched, plans_equal
+from repro.core.executor import Environment, plan_query
+from repro.core.queries import NNQuery, PointQuery, RangeQuery
+from repro.core.schemes import ADEQUATE_MEMORY_CONFIGS, Scheme, SchemeConfig
+from repro.data import tiger
+from repro.data.model import SegmentDataset
+from repro.data.workloads import nn_queries, point_queries, range_queries
+from repro.spatial.mbr import MBR
+
+NN_CONFIGS = (
+    SchemeConfig(Scheme.FULLY_CLIENT),
+    SchemeConfig(Scheme.FULLY_SERVER, data_at_client=True),
+)
+
+#: Configurations valid for every query kind (used by the mixed workload).
+UNIVERSAL_CONFIGS = (
+    SchemeConfig(Scheme.FULLY_CLIENT),
+    SchemeConfig(Scheme.FULLY_SERVER, data_at_client=True),
+)
+
+
+@pytest.fixture(scope="module")
+def env() -> Environment:
+    return Environment.create(tiger.pa_dataset(scale=0.05))
+
+
+def _cache_state(env: Environment):
+    """Everything the planner mutates in the environment's simulators."""
+    client = env.client_cpu.dcache
+    server = env.server_cpu.l1
+    return (
+        client.hits, client.misses, [list(s) for s in client._sets],
+        server.hits, server.misses, [list(s) for s in server._sets],
+    )
+
+
+def _assert_differential(env, queries, configs):
+    """Plan both ways from cold caches; demand full equality."""
+    scalar_grid = []
+    for cfg in configs:
+        env.reset_caches()
+        scalar_grid.append([plan_query(q, cfg, env) for q in queries])
+    scalar_state = _cache_state(env)
+
+    batched_grid = plan_workload_batched(env, queries, configs)
+    batched_state = _cache_state(env)
+
+    assert len(batched_grid) == len(scalar_grid)
+    for b, s in zip(batched_grid, scalar_grid):
+        assert plans_equal(b, s)
+    assert batched_state == scalar_state
+
+
+# ----------------------------------------------------------------------
+# The three paper workload shapes
+# ----------------------------------------------------------------------
+def test_fig4_point_workload(env):
+    _assert_differential(
+        env, point_queries(env.dataset, 30, seed=4), POINT_NN_CONFIGS
+    )
+
+
+def test_fig5_range_workload(env):
+    _assert_differential(
+        env, range_queries(env.dataset, 30, seed=5), ADEQUATE_MEMORY_CONFIGS
+    )
+
+
+def test_fig6_nn_workload(env):
+    _assert_differential(
+        env, nn_queries(env.dataset, 30, seed=6), NN_CONFIGS
+    )
+
+
+def test_mixed_query_kinds_one_workload(env):
+    ds = env.dataset
+    mixed = (
+        point_queries(ds, 5, seed=21)
+        + range_queries(ds, 5, seed=22)
+        + nn_queries(ds, 5, seed=23)
+        + point_queries(ds, 5, seed=24)
+    )
+    _assert_differential(env, mixed, UNIVERSAL_CONFIGS)
+
+
+# ----------------------------------------------------------------------
+# Edge cases
+# ----------------------------------------------------------------------
+def test_empty_result_windows(env):
+    ext = env.dataset.extent
+    off = ext.width + ext.height
+    queries = [
+        # Far outside the extent: zero candidates, zero answers.
+        RangeQuery(MBR(ext.xmax + off, ext.ymax + off,
+                       ext.xmax + 2 * off, ext.ymax + 2 * off)),
+        # A miss point query in the same dead corner.
+        PointQuery(ext.xmax + off, ext.ymax + off),
+        # A normal window after the empties (cache state must still match).
+        RangeQuery(MBR(ext.xmin, ext.ymin,
+                       ext.xmin + ext.width / 3, ext.ymin + ext.height / 3)),
+    ]
+    _assert_differential(env, queries, ADEQUATE_MEMORY_CONFIGS[:2])
+
+
+def test_degenerate_windows(env):
+    ext = env.dataset.extent
+    cx = (ext.xmin + ext.xmax) / 2.0
+    cy = (ext.ymin + ext.ymax) / 2.0
+    queries = [
+        RangeQuery(MBR(cx, cy, cx, cy)),  # zero-area point window
+        RangeQuery(MBR(ext.xmin, cy, ext.xmax, cy)),  # zero-height slab
+        RangeQuery(MBR(cx, ext.ymin, cx, ext.ymax)),  # zero-width slab
+        RangeQuery(MBR(ext.xmin, ext.ymin, ext.xmax, ext.ymax)),  # everything
+    ]
+    _assert_differential(env, queries, ADEQUATE_MEMORY_CONFIGS)
+
+
+def test_single_query_workload(env):
+    _assert_differential(
+        env, range_queries(env.dataset, 1, seed=9), ADEQUATE_MEMORY_CONFIGS
+    )
+
+
+def test_warm_cache_parity(env):
+    """reset_caches=False must continue from the live cache state exactly."""
+    ds = env.dataset
+    warmup = range_queries(ds, 5, seed=31)
+    work = range_queries(ds, 10, seed=32)
+    cfg = ADEQUATE_MEMORY_CONFIGS[0]
+
+    env.reset_caches()
+    for q in warmup:
+        plan_query(q, cfg, env)
+    scalar = [plan_query(q, cfg, env) for q in work]
+    scalar_state = _cache_state(env)
+
+    env.reset_caches()
+    for q in warmup:
+        plan_query(q, cfg, env)
+    [batched] = plan_workload_batched(env, work, [cfg], reset_caches=False)
+    batched_state = _cache_state(env)
+
+    assert plans_equal(batched, scalar)
+    assert batched_state == scalar_state
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: random windows over a random dataset
+# ----------------------------------------------------------------------
+@st.composite
+def small_envs(draw):
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    n = draw(st.integers(min_value=5, max_value=80))
+    rng = np.random.default_rng(seed)
+    cx = rng.uniform(0, 1000, n)
+    cy = rng.uniform(0, 1000, n)
+    dx = rng.normal(0, 20.0, n)
+    dy = rng.normal(0, 20.0, n)
+    ds = SegmentDataset("hyp", cx - dx, cy - dy, cx + dx, cy + dy)
+    return Environment.create(ds)
+
+
+@st.composite
+def window_workloads(draw):
+    k = draw(st.integers(min_value=1, max_value=4))
+    queries = []
+    for _ in range(k):
+        x1, x2 = sorted((draw(st.floats(-100, 1100)),
+                         draw(st.floats(-100, 1100))))
+        y1, y2 = sorted((draw(st.floats(-100, 1100)),
+                         draw(st.floats(-100, 1100))))
+        queries.append(RangeQuery(MBR(x1, y1, x2, y2)))
+    return queries
+
+
+@given(small_envs(), window_workloads())
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_hypothesis_random_windows(hyp_env, queries):
+    _assert_differential(hyp_env, queries, ADEQUATE_MEMORY_CONFIGS)

@@ -1,0 +1,155 @@
+"""BatchedLRU vs the scalar CacheSim — bit-for-bit differential tests.
+
+The batched planner's cache verdicts come from
+:class:`repro.sim.cache.BatchedLRU`, which replaces the per-access Python
+loop with a closed-form LRU stack-distance computation (associativities up
+to 4) or a generational state-matrix replay (above 4).  Both paths must
+reproduce the scalar simulator's hit/miss verdicts AND final cache state
+exactly, including under warm-start seeding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.cache import BatchedLRU, CacheSim
+
+
+def _scalar_reference(lines, n_sets, assoc, seed_sets=None):
+    """Per-access verdicts + final state from a hand-rolled scalar LRU."""
+    sets = (
+        [list(s) for s in seed_sets]
+        if seed_sets is not None
+        else [[] for _ in range(n_sets)]
+    )
+    hits = np.zeros(len(lines), dtype=bool)
+    for k, line in enumerate(lines):
+        s = int(line) % n_sets
+        tag = int(line) // n_sets
+        ways = sets[s]
+        if tag in ways:
+            ways.remove(tag)
+            ways.append(tag)
+            hits[k] = True
+        else:
+            ways.append(tag)
+            if len(ways) > assoc:
+                ways.pop(0)
+    return hits, sets
+
+
+def _random_trace(rng, n, hot_lines):
+    """A skewed trace: mostly a hot set, with a uniform cold tail."""
+    hot = rng.integers(0, hot_lines, size=n)
+    cold = rng.integers(0, hot_lines * 64, size=n)
+    pick = rng.random(n) < 0.75
+    return np.where(pick, hot, cold).astype(np.int64)
+
+
+GEOMETRIES = [
+    (16, 1),  # direct-mapped
+    (64, 2),  # the client dcache shape (8KB/4way/32B -> 64 sets, but 2-way here)
+    (64, 4),  # the client dcache associativity
+    (256, 2),  # the server L1 shape
+    (8, 3),  # odd associativity (closed-form second case)
+    (8, 5),  # generational fallback
+    (4, 8),  # generational fallback, deep sets
+]
+
+
+@pytest.mark.parametrize("n_sets,assoc", GEOMETRIES)
+def test_cold_start_matches_scalar(n_sets, assoc):
+    rng = np.random.default_rng(n_sets * 100 + assoc)
+    batch = BatchedLRU()
+    traces = [_random_trace(rng, rng.integers(1, 2000), n_sets * assoc * 2)
+              for _ in range(5)]
+    handles = [batch.add_stream(t, n_sets, assoc) for t in traces]
+    batch.run()
+    for h, t in zip(handles, traces):
+        ref_hits, ref_sets = _scalar_reference(t, n_sets, assoc)
+        assert np.array_equal(batch.hits_of(h), ref_hits)
+        assert batch.final_sets(h) == ref_sets
+
+
+@pytest.mark.parametrize("n_sets,assoc", GEOMETRIES)
+def test_warm_seed_matches_scalar(n_sets, assoc):
+    rng = np.random.default_rng(7000 + n_sets * 10 + assoc)
+    warm = _random_trace(rng, 500, n_sets * assoc * 2)
+    work = _random_trace(rng, 800, n_sets * assoc * 2)
+    _, seed = _scalar_reference(warm, n_sets, assoc)
+
+    batch = BatchedLRU()
+    h = batch.add_stream(work, n_sets, assoc, seed_sets=[list(s) for s in seed])
+    batch.run()
+    ref_hits, ref_sets = _scalar_reference(work, n_sets, assoc, seed_sets=seed)
+    assert np.array_equal(batch.hits_of(h), ref_hits)
+    assert batch.final_sets(h) == ref_sets
+
+
+def test_matches_cachesim_class(n_sets=64, assoc=4, line_bytes=32):
+    """End-to-end against the production CacheSim, not just the reference."""
+    rng = np.random.default_rng(42)
+    lines = _random_trace(rng, 3000, n_sets * assoc * 2)
+    sim = CacheSim(n_sets * assoc * line_bytes, assoc, line_bytes)
+    scalar_hits = np.array([sim.access_line(int(l)) for l in lines])
+
+    batch = BatchedLRU()
+    h = batch.add_stream(lines, n_sets, assoc)
+    batch.run()
+    assert np.array_equal(batch.hits_of(h), scalar_hits)
+    assert batch.final_sets(h) == sim._sets
+
+
+def test_mixed_geometries_one_batch():
+    """Streams with different geometries (closed-form + fallback triggers)."""
+    rng = np.random.default_rng(9)
+    specs = [(16, 1), (64, 4), (256, 2), (8, 3)]
+    batch = BatchedLRU()
+    traces = []
+    for n_sets, assoc in specs:
+        t = _random_trace(rng, 1200, n_sets * assoc * 2)
+        traces.append((batch.add_stream(t, n_sets, assoc), t, n_sets, assoc))
+    batch.run()
+    for h, t, n_sets, assoc in traces:
+        ref_hits, ref_sets = _scalar_reference(t, n_sets, assoc)
+        assert np.array_equal(batch.hits_of(h), ref_hits)
+        assert batch.final_sets(h) == ref_sets
+
+
+def test_repeat_heavy_trace_dup_collapse():
+    """Immediate same-line repeats (the collapse fast path) stay exact."""
+    rng = np.random.default_rng(5)
+    base = _random_trace(rng, 200, 64)
+    lines = np.repeat(base, rng.integers(1, 6, size=len(base)))
+    batch = BatchedLRU()
+    h = batch.add_stream(lines, 16, 2)
+    batch.run()
+    ref_hits, ref_sets = _scalar_reference(lines, 16, 2)
+    assert np.array_equal(batch.hits_of(h), ref_hits)
+    assert batch.final_sets(h) == ref_sets
+
+
+def test_empty_and_tiny_traces():
+    batch = BatchedLRU()
+    h0 = batch.add_stream(np.empty(0, dtype=np.int64), 16, 2)
+    h1 = batch.add_stream(np.array([7]), 16, 2)
+    h2 = batch.add_stream(np.array([7, 7]), 16, 2)
+    batch.run()
+    assert batch.hits_of(h0).size == 0
+    assert np.array_equal(batch.hits_of(h1), [False])
+    assert np.array_equal(batch.hits_of(h2), [False, True])
+
+
+def test_api_misuse_raises():
+    batch = BatchedLRU()
+    batch.add_stream(np.array([1, 2, 3]), 16, 2)
+    batch.run()
+    with pytest.raises(RuntimeError):
+        batch.run()
+    with pytest.raises(RuntimeError):
+        batch.add_stream(np.array([1]), 16, 2)
+    with pytest.raises(ValueError):
+        BatchedLRU().add_stream(np.array([1]), 0, 2)
+    with pytest.raises(ValueError):
+        BatchedLRU().add_stream(np.array([1]), 16, 2, seed_sets=[[]])

@@ -1,0 +1,136 @@
+"""batch_filter vs the scalar PackedRTree traversal — exactness unit tests.
+
+The batched planner replays index-node access traces through the cache
+models, so :func:`repro.spatial.batchtraverse.batch_filter` must reproduce
+not just the scalar candidate *sets* but the scalar DFS node *order* and
+the per-query MBR-test tallies.  These tests pin all three against the
+scalar filters (which record their own order via ``OpCounter``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.trace import REGION_INDEX, OpCounter
+from repro.spatial.batchtraverse import batch_filter
+from repro.spatial.mbr import MBR
+from repro.spatial.rtree import PackedRTree
+
+
+def _random_dataset(seed: int, n: int):
+    from repro.data.model import SegmentDataset
+
+    rng = np.random.default_rng(seed)
+    cx = rng.uniform(0, 1000, n)
+    cy = rng.uniform(0, 1000, n)
+    dx = rng.normal(0, 15.0, n)
+    dy = rng.normal(0, 15.0, n)
+    return SegmentDataset("t", cx - dx, cy - dy, cx + dx, cy + dy)
+
+
+@pytest.fixture(scope="module")
+def tree() -> PackedRTree:
+    return PackedRTree.build(_random_dataset(3, 400), node_capacity=8)
+
+
+def _scalar_visits(tree: PackedRTree, rect: MBR):
+    """Scalar candidates + DFS-preorder visited nodes + MBR-test tally."""
+    counter = OpCounter(record_trace=True)
+    cands = tree.range_filter(rect, counter)
+    visited = [a.object_id for a in counter.iter_trace()
+               if a.region == REGION_INDEX]
+    return cands, np.asarray(visited, dtype=np.int64), counter.mbr_tests
+
+
+def _windows(tree: PackedRTree, seed: int, n: int):
+    rng = np.random.default_rng(seed)
+    xs = rng.uniform(-50, 1050, (n, 2))
+    ys = rng.uniform(-50, 1050, (n, 2))
+    return [MBR(min(x), min(y), max(x), max(y)) for x, y in zip(xs, ys)]
+
+
+def _run_batch(tree, rects):
+    return batch_filter(
+        tree,
+        np.array([r.xmin for r in rects]),
+        np.array([r.ymin for r in rects]),
+        np.array([r.xmax for r in rects]),
+        np.array([r.ymax for r in rects]),
+    )
+
+
+def test_candidates_match_scalar_order(tree):
+    rects = _windows(tree, 7, 40)
+    res = _run_batch(tree, rects)
+    assert res.n_queries == len(rects)
+    for i, rect in enumerate(rects):
+        cands, _, _ = _scalar_visits(tree, rect)
+        assert np.array_equal(res.candidates_of(i), cands)
+
+
+def test_visited_nodes_match_scalar_dfs_preorder(tree):
+    rects = _windows(tree, 8, 40)
+    res = _run_batch(tree, rects)
+    for i, rect in enumerate(rects):
+        _, visited, _ = _scalar_visits(tree, rect)
+        assert np.array_equal(res.nodes_of(i), visited)
+
+
+def test_mbr_test_tallies_match_scalar(tree):
+    rects = _windows(tree, 9, 40)
+    res = _run_batch(tree, rects)
+    for i, rect in enumerate(rects):
+        _, _, tests = _scalar_visits(tree, rect)
+        assert res.mbr_tests[i] == tests
+
+
+def test_point_queries_as_degenerate_windows(tree):
+    rng = np.random.default_rng(10)
+    px = rng.uniform(0, 1000, 40)
+    py = rng.uniform(0, 1000, 40)
+    res = batch_filter(tree, px, py, px, py)
+    for i in range(len(px)):
+        counter = OpCounter(record_trace=True)
+        cands = tree.point_filter(float(px[i]), float(py[i]), counter)
+        visited = [a.object_id for a in counter.iter_trace()
+                   if a.region == REGION_INDEX]
+        assert np.array_equal(res.candidates_of(i), cands)
+        assert np.array_equal(res.nodes_of(i), np.asarray(visited, np.int64))
+        assert res.mbr_tests[i] == counter.mbr_tests
+
+
+def test_no_match_window_visits_root_only(tree):
+    res = _run_batch(tree, [MBR(5000.0, 5000.0, 6000.0, 6000.0)])
+    assert res.candidates_of(0).size == 0
+    assert np.array_equal(res.nodes_of(0), np.array([tree.root]))
+
+
+def test_whole_extent_window_matches_everything(tree):
+    res = _run_batch(tree, [MBR(-100.0, -100.0, 1100.0, 1100.0)])
+    cands, visited, _ = _scalar_visits(tree, MBR(-100.0, -100.0, 1100.0, 1100.0))
+    assert np.array_equal(res.candidates_of(0), cands)
+    assert np.array_equal(res.nodes_of(0), visited)
+    assert len(res.candidates_of(0)) == len(tree.entry_ids)
+
+
+def test_empty_workload(tree):
+    res = batch_filter(
+        tree, np.empty(0), np.empty(0), np.empty(0), np.empty(0)
+    )
+    assert res.n_queries == 0
+    assert res.visited.size == 0
+    assert res.cand_ids.size == 0
+
+
+@pytest.mark.parametrize("capacity", [2, 4, 25])
+def test_capacity_sweep(capacity):
+    ds = _random_dataset(11, 150)
+    t = PackedRTree.build(ds, node_capacity=capacity)
+    rects = _windows(t, 12, 15)
+    res = _run_batch(t, rects)
+    for i, rect in enumerate(rects):
+        cands, visited, tests = _scalar_visits(t, rect)
+        assert np.array_equal(res.candidates_of(i), cands)
+        assert np.array_equal(res.nodes_of(i), visited)
+        assert res.mbr_tests[i] == tests
