@@ -12,6 +12,7 @@ import pathlib
 
 import pytest
 
+from repro.bench.provenance import stamp_record
 from repro.core.executor import Environment
 from repro.data import tiger
 
@@ -58,13 +59,18 @@ def save_report():
 
 @pytest.fixture(scope="session")
 def save_json():
-    """Write a machine-readable record to benchmarks/results/<name>.json."""
+    """Write a machine-readable record to benchmarks/results/<name>.json.
+
+    Every record is stamped with a ``provenance`` block (git SHA, UTC
+    timestamp, platform, Python/NumPy versions) so archived numbers stay
+    attributable across PRs.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
 
     def _save(name: str, record: dict) -> pathlib.Path:
         path = RESULTS_DIR / f"{name}.json"
         with path.open("w") as fh:
-            json.dump(record, fh, indent=2, sort_keys=True)
+            json.dump(stamp_record(record), fh, indent=2, sort_keys=True)
             fh.write("\n")
         return path
 

@@ -21,9 +21,26 @@ from typing import Dict, List, Sequence
 from repro.core.batchplan import plan_workload_batched, plans_equal
 from repro.core.executor import Environment, QueryPlan, plan_query
 from repro.core.queries import Query
-from repro.core.schemes import SchemeConfig
+from repro.core.schemes import ADEQUATE_MEMORY_CONFIGS, Scheme, SchemeConfig
 
-__all__ = ["measure_plan_speedup", "render_plan_speedup"]
+__all__ = [
+    "NN_CONFIGS",
+    "PLAN_KINDS",
+    "measure_plan_speedup",
+    "measure_plan_speedup_kinds",
+    "render_plan_speedup",
+    "render_plan_speedup_kinds",
+]
+
+#: The two schemes NN/k-NN queries admit (no filter/refine split exists for
+#: best-first search, so the FILTER_* schemes are rejected by validate_for).
+NN_CONFIGS: tuple = (
+    SchemeConfig(Scheme.FULLY_CLIENT),
+    SchemeConfig(Scheme.FULLY_SERVER, data_at_client=True),
+)
+
+#: Query kinds the per-kind planbench can time (the ``--kinds`` selector).
+PLAN_KINDS: tuple = ("point", "range", "nn", "knn")
 
 
 def measure_plan_speedup(
@@ -89,6 +106,62 @@ def measure_plan_speedup(
     }
 
 
+def _kind_workload(env: Environment, kind: str, runs: int):
+    """The (queries, configs) pair one ``--kinds`` entry times."""
+    from repro.bench.figures import POINT_NN_CONFIGS
+    from repro.data.workloads import (
+        knn_queries, nn_queries, point_queries, range_queries,
+    )
+
+    if kind == "point":
+        return point_queries(env.dataset, runs), list(POINT_NN_CONFIGS)
+    if kind == "range":
+        return range_queries(env.dataset, runs), list(ADEQUATE_MEMORY_CONFIGS)
+    if kind == "nn":
+        return nn_queries(env.dataset, runs), list(NN_CONFIGS)
+    if kind == "knn":
+        return knn_queries(env.dataset, runs), list(NN_CONFIGS)
+    raise ValueError(f"unknown query kind {kind!r}; expected one of {PLAN_KINDS}")
+
+
+def measure_plan_speedup_kinds(
+    env: Environment,
+    kinds: Sequence[str],
+    *,
+    runs: int = 100,
+    repeats: int = 3,
+) -> Dict[str, object]:
+    """Per-kind scalar-vs-batched timing, one row per query kind.
+
+    Each kind gets its own workload (paper generators) and its own scheme
+    grid, measured independently with :func:`measure_plan_speedup`, so a
+    regression in one query kind cannot hide behind another's speedup.
+    Returns the ``BENCH_nn.json``-style record::
+
+        {"benchmark": "plan_speedup_kinds", "dataset": ..., "runs": ...,
+         "repeats": ..., "kinds": {"nn": {<measure_plan_speedup row>}, ...},
+         "plans_equal": <all kinds>, "min_speedup": <worst kind>}
+    """
+    kinds = list(kinds)
+    if not kinds:
+        raise ValueError("kinds must name at least one query kind")
+    rows: Dict[str, Dict[str, object]] = {}
+    for kind in kinds:
+        queries, configs = _kind_workload(env, kind, runs)
+        rows[kind] = measure_plan_speedup(
+            env, queries, configs, repeats=repeats
+        )
+    return {
+        "benchmark": "plan_speedup_kinds",
+        "dataset": env.dataset.name,
+        "runs": runs,
+        "repeats": repeats,
+        "kinds": rows,
+        "plans_equal": all(r["plans_equal"] for r in rows.values()),
+        "min_speedup": min(r["speedup"] for r in rows.values()),
+    }
+
+
 def render_plan_speedup(record: Dict[str, object]) -> str:
     """One human-readable block for a :func:`measure_plan_speedup` record."""
     lines = [
@@ -101,4 +174,21 @@ def render_plan_speedup(record: Dict[str, object]) -> str:
         f"  speedup      : {record['speedup']:.2f}x",
         f"  plans equal  : {record['plans_equal']}",
     ]
+    return "\n".join(lines)
+
+
+def render_plan_speedup_kinds(record: Dict[str, object]) -> str:
+    """Per-kind table for a :func:`measure_plan_speedup_kinds` record."""
+    lines = [
+        "plan_speedup_kinds: batched planner vs scalar loop, per query kind",
+        f"  dataset : {record['dataset']}"
+        f"  ({record['runs']} queries/kind, min of {record['repeats']})",
+        "  kind   scalar_s  batched_s  speedup  plans_equal",
+    ]
+    for kind, row in record["kinds"].items():
+        lines.append(
+            f"  {kind:<6} {row['scalar_seconds']:>8.3f} "
+            f"{row['batched_seconds']:>10.3f} "
+            f"{row['speedup']:>7.2f}x  {row['plans_equal']}"
+        )
     return "\n".join(lines)

@@ -1,0 +1,59 @@
+"""Provenance stamps for benchmark artifacts.
+
+Every ``BENCH_*.json`` carries a ``provenance`` block — git SHA, UTC
+timestamp, platform, Python and NumPy versions — so the perf trajectory
+archived under ``benchmarks/results/`` stays attributable across PRs: a
+regression (or a suspicious speedup) can be pinned to the commit and the
+machine that produced the number.
+"""
+
+from __future__ import annotations
+
+import datetime
+import platform
+import subprocess
+from typing import Dict
+
+import numpy as np
+
+__all__ = ["provenance", "stamp_record"]
+
+
+def _git_sha() -> str:
+    """The repository HEAD SHA, or ``"unknown"`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def provenance() -> Dict[str, str]:
+    """Provenance fields for a benchmark record, computed at call time."""
+    return {
+        "git_sha": _git_sha(),
+        "timestamp_utc": datetime.datetime.now(datetime.timezone.utc)
+        .isoformat(timespec="seconds"),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+
+
+def stamp_record(record: Dict[str, object]) -> Dict[str, object]:
+    """Return ``record`` with a ``provenance`` block added (not in place).
+
+    An existing ``provenance`` key is preserved — re-stamping a loaded
+    record must not overwrite where the numbers actually came from.
+    """
+    if "provenance" in record:
+        return dict(record)
+    out = dict(record)
+    out["provenance"] = provenance()
+    return out

@@ -249,38 +249,60 @@ def cmd_bench(args: argparse.Namespace) -> int:
 def cmd_planbench(args: argparse.Namespace) -> int:
     import json
 
-    from repro.bench.planbench import measure_plan_speedup, render_plan_speedup
+    from repro.bench.planbench import (
+        NN_CONFIGS,
+        PLAN_KINDS,
+        measure_plan_speedup,
+        measure_plan_speedup_kinds,
+        render_plan_speedup,
+        render_plan_speedup_kinds,
+    )
+    from repro.bench.provenance import stamp_record
     from repro.data.workloads import nn_queries, point_queries, range_queries
 
     env = _load_env(args.dataset, args.scale)
-    if args.sweep == "fig5":
-        gen, configs = range_queries, list(ADEQUATE_MEMORY_CONFIGS)
-    elif args.sweep == "fig4":
-        from repro.bench.figures import POINT_NN_CONFIGS
-
-        gen, configs = point_queries, list(POINT_NN_CONFIGS)
+    if args.kinds:
+        kinds = [k.strip() for k in args.kinds.split(",") if k.strip()]
+        unknown = [k for k in kinds if k not in PLAN_KINDS]
+        if unknown:
+            print(
+                f"FAIL: unknown query kind(s) {', '.join(unknown)}; "
+                f"expected any of {', '.join(PLAN_KINDS)}",
+                file=sys.stderr,
+            )
+            return 1
+        record = measure_plan_speedup_kinds(
+            env, kinds, runs=args.runs, repeats=args.repeat
+        )
+        render = render_plan_speedup_kinds
+        worst = record["min_speedup"]
     else:
-        gen, configs = nn_queries, [
-            SchemeConfig(Scheme.FULLY_CLIENT),
-            SchemeConfig(Scheme.FULLY_SERVER, data_at_client=True),
-        ]
-    qs = gen(env.dataset, args.runs)
-    record = measure_plan_speedup(env, qs, configs, repeats=args.repeat)
-    record["sweep"] = args.sweep
+        if args.sweep == "fig5":
+            gen, configs = range_queries, list(ADEQUATE_MEMORY_CONFIGS)
+        elif args.sweep == "fig4":
+            from repro.bench.figures import POINT_NN_CONFIGS
+
+            gen, configs = point_queries, list(POINT_NN_CONFIGS)
+        else:
+            gen, configs = nn_queries, list(NN_CONFIGS)
+        qs = gen(env.dataset, args.runs)
+        record = measure_plan_speedup(env, qs, configs, repeats=args.repeat)
+        record["sweep"] = args.sweep
+        render = render_plan_speedup
+        worst = record["speedup"]
     record["scale"] = args.scale
-    print(render_plan_speedup(record))
+    print(render(record))
     if args.json:
         with open(args.json, "w") as fh:
-            json.dump(record, fh, indent=2, sort_keys=True)
+            json.dump(stamp_record(record), fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"json    : {args.json}")
     if not record["plans_equal"]:
         print("FAIL: batched plans differ from scalar plans", file=sys.stderr)
         return 1
-    if record["speedup"] < 1.0:
+    if worst < 1.0:
         print(
-            f"FAIL: batched planner slower than scalar "
-            f"({record['speedup']:.2f}x)",
+            f"FAIL: batched planner slower than scalar ({worst:.2f}x)",
             file=sys.stderr,
         )
         return 1
@@ -349,6 +371,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pb.add_argument("--sweep", default="fig5", choices=("fig4", "fig5", "fig6"),
                     help="which figure workload to plan")
+    pb.add_argument("--kinds", default=None, metavar="K1,K2",
+                    help="comma-separated query kinds (point,range,nn,knn); "
+                         "reports one speedup row per kind and overrides "
+                         "--sweep")
     pb.add_argument("--runs", type=int, default=100, help="queries per workload")
     pb.add_argument("--repeat", type=int, default=3,
                     help="timed rounds per planner (min is reported)")

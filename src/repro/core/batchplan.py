@@ -14,9 +14,12 @@ vectorized stages:
    candidate sets.  The result per query — candidate ids, answer ids, and
    per-phase :class:`PhaseTrace` records (operation counts + the ordered
    memory-touch arrays) — is *placement-free*: schemes differ in where
-   phases run, never in what they compute.  NN/k-NN queries fall back to the
-   scalar best-first search (their traversal is data-dependent and
-   heap-ordered), recorded once into the same trace form.
+   phases run, never in what they compute.  NN/k-NN queries run through the
+   batched best-first engine (:func:`repro.spatial.batchnn.batch_nearest`),
+   which reproduces each query's scalar heap-pop order, tie-breaks and op
+   tallies exactly while doing the MINDIST and exact-distance arithmetic
+   vectorized across the whole batch; its visit/refine logs land in the
+   same trace form.
 2. **Cache replay**: for each scheme configuration the client/server phase
    traces are concatenated into per-side access streams (exactly the line
    sequence the scalar path would feed ``CacheSim``) and simulated together
@@ -70,6 +73,7 @@ from repro.sim.cache import BatchedLRU
 from repro.sim.cpu import _INDEX_STRIDE, _REGION_BASE
 from repro.sim.trace import REGION_DATA, REGION_INDEX, REGION_RESULT, OpCounter
 from repro.spatial import vecgeom
+from repro.spatial.batchnn import batch_nearest
 from repro.spatial.batchtraverse import batch_filter
 
 __all__ = [
@@ -145,6 +149,12 @@ class CacheGeometry:
         self, regions: np.ndarray, ids: np.ndarray, nbytes: np.ndarray
     ) -> np.ndarray:
         """Line-granular address sequence of one access trace."""
+        return self.lines_and_counts(regions, ids, nbytes)[0]
+
+    def lines_and_counts(
+        self, regions: np.ndarray, ids: np.ndarray, nbytes: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Line sequence plus the per-access line counts (for splitting)."""
         bases = np.array(
             [
                 _REGION_BASE[REGION_INDEX],
@@ -162,7 +172,10 @@ class CacheGeometry:
         counts = np.where(nbytes > 0, last - first + 1, 0)
         total = int(counts.sum())
         run_starts = np.cumsum(counts) - counts
-        return np.repeat(first - run_starts, counts) + np.arange(total, dtype=np.int64)
+        lines = np.repeat(first - run_starts, counts) + np.arange(
+            total, dtype=np.int64
+        )
+        return lines, counts
 
 
 class QueryPhases:
@@ -282,33 +295,61 @@ def _counts(**fields: int) -> OpCounter:
     return c
 
 
-def _trace_arrays(trace) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-    n = len(trace)
-    regions = np.empty(n, dtype=np.int8)
-    ids = np.empty(n, dtype=np.int64)
-    nb = np.empty(n, dtype=np.int64)
-    for i, a in enumerate(trace):
-        regions[i] = a.region
-        ids[i] = a.object_id
-        nb[i] = a.nbytes
-    return regions, ids, nb
+def _nn_phases_batch(
+    env: Environment, keys: List[tuple], queries: List[Query]
+) -> Dict[tuple, QueryPhases]:
+    """Phase data for every distinct NN/k-NN query in one batched search.
 
-
-def _nn_phases(env: Environment, key: tuple, q: Query) -> QueryPhases:
-    # NN/k-NN keeps the scalar best-first search: its traversal order is
-    # heap-driven and data-dependent, so there is no frontier to batch —
-    # but the search runs once per distinct query and its trace joins the
-    # same vectorized cache replay as everything else.
-    counter = OpCounter(record_trace=True)
-    out = env.engine.nearest(q, counter)
-    regions, ids, nb = _trace_arrays(counter.trace)
-    return QueryPhases(
-        key,
-        is_nn=True,
-        cand_ids=np.empty(0, dtype=np.int64),
-        answer_ids=out.ids,
-        nn_trace=PhaseTrace(counter.copy_counts(), regions, ids, nb),
-    )
+    :func:`repro.spatial.batchnn.batch_nearest` hands back, per query, the
+    scalar tallies plus the visit/refine log in exact pop order; the log
+    maps directly onto trace arrays — index-region node touches sized by
+    the node-bytes table, data-region segment fetches sized by the record
+    stride — which is precisely the access sequence the scalar search
+    appends to its counter.
+    """
+    tree = env.tree
+    costs = env.dataset.costs
+    node_bytes = tree.node_bytes_array()
+    seg_bytes = costs.segment_record_bytes
+    px = np.array([q.x for q in queries], dtype=np.float64)
+    py = np.array([q.y for q in queries], dtype=np.float64)
+    ks = np.array([getattr(q, "k", 1) for q in queries], dtype=np.int64)
+    nn = batch_nearest(tree, px, py, ks)
+    # One vectorized pass over the engine's flat visit/refine log; the
+    # per-query trace arrays below are views into these.
+    ends = nn.log_ends
+    ids_all = nn.flat_ids
+    flags_all = nn.flat_is_entry
+    regions_all = np.where(flags_all, REGION_DATA, REGION_INDEX).astype(np.int8)
+    nb_all = np.full(ids_all.size, seg_bytes, dtype=np.int64)
+    node_rows = ~flags_all
+    nb_all[node_rows] = node_bytes[ids_all[node_rows]]
+    out: Dict[tuple, QueryPhases] = {}
+    a = 0
+    for i, key in enumerate(keys):
+        b = int(ends[i])
+        regions = regions_all[a:b]
+        ids = ids_all[a:b]
+        nb = nb_all[a:b]
+        refined = int(nn.candidates_refined[i])
+        counter = OpCounter(
+            nodes_visited=int(nn.nodes_visited[i]),
+            mbr_tests=int(nn.mbr_tests[i]),
+            candidates_refined=refined,
+            distance_evals=refined,
+            heap_ops=int(nn.heap_ops[i]),
+            results_produced=int(nn.results_produced[i]),
+            record_trace=False,
+        )
+        out[key] = QueryPhases(
+            key,
+            is_nn=True,
+            cand_ids=np.empty(0, dtype=np.int64),
+            answer_ids=nn.answer_ids[i],
+            nn_trace=PhaseTrace(counter, regions, ids, nb),
+        )
+        a = b
+    return out
 
 
 def _pr_phases(
@@ -383,14 +424,19 @@ def _compute_phases(env: Environment, todo: Dict[tuple, Query]) -> Dict[tuple, Q
     tree = env.tree
     costs = ds.costs
     result: Dict[tuple, QueryPhases] = {}
+    nn_keys: List[tuple] = []
+    nn_queries: List[Query] = []
     pr_keys: List[tuple] = []
     pr_queries: List[Query] = []
     for k, q in todo.items():
         if q.kind is QueryKind.NEAREST_NEIGHBOR:
-            result[k] = _nn_phases(env, k, q)
+            nn_keys.append(k)
+            nn_queries.append(q)
         else:
             pr_keys.append(k)
             pr_queries.append(q)
+    if nn_queries:
+        result.update(_nn_phases_batch(env, nn_keys, nn_queries))
     if not pr_queries:
         return result
 
@@ -551,12 +597,43 @@ class _Stream:
         return h, (e - s) - h
 
 
+def _prime_lines(traces: Sequence[PhaseTrace], geom: CacheGeometry) -> None:
+    """Expand every uncached trace's line sequence in one vectorized call.
+
+    ``lines_for`` on a short trace (an NN visit log, a display phase) costs
+    more in per-call NumPy overhead than in actual work; concatenating the
+    uncached traces' access arrays, expanding once, and splitting the result
+    back per trace keeps stream building flat in the number of traces.
+    """
+    missing: List[PhaseTrace] = []
+    seen: set = set()
+    for t in traces:
+        if geom.key not in t._lines and id(t) not in seen:
+            seen.add(id(t))
+            missing.append(t)
+    if not missing:
+        return
+    acc_counts = np.array([t.regions.size for t in missing], dtype=np.int64)
+    regs = np.concatenate([t.regions for t in missing])
+    ids = np.concatenate([t.ids for t in missing])
+    nbs = np.concatenate([t.nbytes for t in missing])
+    lines, per_access = geom.lines_and_counts(regs, ids, nbs)
+    cum = np.zeros(per_access.size + 1, dtype=np.int64)
+    np.cumsum(per_access, out=cum[1:])
+    ends = np.cumsum(acc_counts)
+    line_ends = cum[ends]
+    line_starts = cum[ends - acc_counts]
+    for t, a, b in zip(missing, line_starts.tolist(), line_ends.tolist()):
+        t._lines[geom.key] = lines[a:b]
+
+
 def _make_stream(
     batch: BatchedLRU,
     traces: Sequence[PhaseTrace],
     geom: CacheGeometry,
     seed: Optional[List[List[int]]],
 ) -> _Stream:
+    _prime_lines(traces, geom)
     parts = [t.lines_for(geom) for t in traces]
     lens = np.array([p.size for p in parts], dtype=np.int64)
     lines = np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)

@@ -27,7 +27,7 @@ from typing import List
 
 import numpy as np
 
-from repro.core.queries import NNQuery, PointQuery, Query, RangeQuery
+from repro.core.queries import KNNQuery, NNQuery, PointQuery, Query, RangeQuery
 from repro.data.model import SegmentDataset
 from repro.spatial.mbr import MBR
 
@@ -35,6 +35,7 @@ __all__ = [
     "point_queries",
     "range_queries",
     "nn_queries",
+    "knn_queries",
     "proximity_sequence",
     "DEFAULT_RUNS",
 ]
@@ -127,6 +128,24 @@ def nn_queries(
     xs = rng.uniform(ds.extent.xmin, ds.extent.xmax, size=n)
     ys = rng.uniform(ds.extent.ymin, ds.extent.ymax, size=n)
     return [NNQuery(float(x), float(y)) for x, y in zip(xs, ys)]
+
+
+def knn_queries(
+    ds: SegmentDataset, n: int = DEFAULT_RUNS, seed: int = 18, max_k: int = 8
+) -> List[KNNQuery]:
+    """``n`` k-NN queries at uniformly random points, ``k`` uniform in
+    ``[1, max_k]`` so the workload mixes single-NN with deeper searches."""
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if max_k < 1:
+        raise ValueError(f"max_k must be >= 1, got {max_k}")
+    rng = np.random.default_rng(seed)
+    xs = rng.uniform(ds.extent.xmin, ds.extent.xmax, size=n)
+    ys = rng.uniform(ds.extent.ymin, ds.extent.ymax, size=n)
+    ks = rng.integers(1, max_k + 1, size=n)
+    return [
+        KNNQuery(float(x), float(y), int(k)) for x, y, k in zip(xs, ys, ks)
+    ]
 
 
 def proximity_sequence(

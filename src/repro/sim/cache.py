@@ -542,9 +542,9 @@ class BatchedLRU:
         if not self._ran:
             raise RuntimeError("run() not called")
         s = self._streams[stream]
-        out: List[List[int]] = []
-        for i in range(s["n_sets"]):
-            row = self._W[s["offset"] + i, : s["assoc"]]
-            valid = row[row != -1]
-            out.append([int(t) for t in valid[::-1]])
-        return out
+        # One bulk tolist over the stream's rows: reversing MRU-first rows
+        # gives MRU-last with the -1 fillers at the front, dropped below.
+        rows = self._W[s["offset"] : s["offset"] + s["n_sets"], : s["assoc"]]
+        return [
+            [t for t in row if t != -1] for row in rows[:, ::-1].tolist()
+        ]

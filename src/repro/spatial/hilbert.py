@@ -25,6 +25,7 @@ from repro.spatial.mbr import MBR
 __all__ = [
     "DEFAULT_ORDER",
     "xy_to_d",
+    "xy_to_d_bulk",
     "d_to_xy",
     "hilbert_sort_keys",
 ]
@@ -92,36 +93,30 @@ def d_to_xy(order: int, d: int) -> tuple[int, int]:
     return x, y
 
 
-def hilbert_sort_keys(
-    xs: np.ndarray,
-    ys: np.ndarray,
-    extent: MBR,
-    order: int = DEFAULT_ORDER,
-) -> np.ndarray:
-    """Hilbert indices for float points, vectorized over the whole array.
+def xy_to_d_bulk(order: int, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+    """Hilbert indices for integer grid cells, vectorized over the arrays.
 
-    ``xs``/``ys`` are mapped onto the ``2**order`` grid spanning ``extent``
-    (points on the max edge land in the last cell), then encoded with the same
-    quadrant-rotation recurrence as :func:`xy_to_d`, but with the loop running
-    over the ``order`` bit levels and NumPy doing the per-point work.  Output
+    Exact-integer bulk counterpart of :func:`xy_to_d`: same quadrant-rotation
+    recurrence, same :class:`ValueError` on out-of-grid coordinates, but the
+    loop runs over the ``order`` bit levels while NumPy handles the per-point
+    work.  The scalar function is kept as the differential oracle; the
+    equivalence test lives in ``tests/spatial/test_hilbert.py``.  Output
     dtype is ``uint64``, exact for ``order <= 31``.
-
-    Agreement with the scalar :func:`xy_to_d` is property-tested.
     """
     if order <= 0 or order > 31:
         raise ValueError(f"order must be in [1, 31], got {order}")
-    if extent.width <= 0 or extent.height <= 0:
-        raise ValueError("extent must have positive area for Hilbert scaling")
+    x = np.asarray(xs, dtype=np.uint64)
+    y = np.asarray(ys, dtype=np.uint64)
+    if x.shape != y.shape:
+        raise ValueError("xs and ys must have the same shape")
     n = np.uint64(1) << np.uint64(order)
-    nf = float(1 << order)
-    gx = np.clip((np.asarray(xs, dtype=np.float64) - extent.xmin)
-                 / extent.width * nf, 0, nf - 1).astype(np.uint64)
-    gy = np.clip((np.asarray(ys, dtype=np.float64) - extent.ymin)
-                 / extent.height * nf, 0, nf - 1).astype(np.uint64)
-
-    d = np.zeros(gx.shape, dtype=np.uint64)
-    x = gx
-    y = gy
+    if x.size and (int(x.max()) >= int(n) or int(y.max()) >= int(n)):
+        bad = int(np.argmax((x >= n) | (y >= n)))
+        raise ValueError(
+            f"({int(x.flat[bad])}, {int(y.flat[bad])}) outside the "
+            f"{int(n)}x{int(n)} Hilbert grid"
+        )
+    d = np.zeros(x.shape, dtype=np.uint64)
     one = np.uint64(1)
     zero = np.uint64(0)
     s = n >> one
@@ -141,3 +136,28 @@ def hilbert_sort_keys(
         x, y = x_new, y_new
         s >>= one
     return d
+
+
+def hilbert_sort_keys(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    extent: MBR,
+    order: int = DEFAULT_ORDER,
+) -> np.ndarray:
+    """Hilbert indices for float points, vectorized over the whole array.
+
+    ``xs``/``ys`` are mapped onto the ``2**order`` grid spanning ``extent``
+    (points on the max edge land in the last cell), then encoded with
+    :func:`xy_to_d_bulk`.  Output dtype is ``uint64``, exact for
+    ``order <= 31``.
+
+    Agreement with the scalar :func:`xy_to_d` is property-tested.
+    """
+    if extent.width <= 0 or extent.height <= 0:
+        raise ValueError("extent must have positive area for Hilbert scaling")
+    nf = float(1 << order)
+    gx = np.clip((np.asarray(xs, dtype=np.float64) - extent.xmin)
+                 / extent.width * nf, 0, nf - 1).astype(np.uint64)
+    gy = np.clip((np.asarray(ys, dtype=np.float64) - extent.ymin)
+                 / extent.height * nf, 0, nf - 1).astype(np.uint64)
+    return xy_to_d_bulk(order, gx, gy)

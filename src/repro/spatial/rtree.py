@@ -44,7 +44,7 @@ from repro.sim.trace import OpCounter
 
 if TYPE_CHECKING:  # circular at runtime: data.model uses spatial.mbr
     from repro.data.model import SegmentDataset
-from repro.spatial import geometry
+from repro.spatial import geometry, vecgeom
 from repro.spatial.hilbert import DEFAULT_ORDER, hilbert_sort_keys
 from repro.spatial.mbr import MBR
 
@@ -470,13 +470,11 @@ class PackedRTree:
             counter.mbr_tests += c
             sl = slice(s, s + c)
             if self.node_level[node] == 0:
-                dx = np.maximum(
-                    np.maximum(self.entry_xmin[sl] - px, px - self.entry_xmax[sl]), 0.0
+                mind = vecgeom.mbr_mindist_sq(
+                    px, py,
+                    self.entry_xmin[sl], self.entry_ymin[sl],
+                    self.entry_xmax[sl], self.entry_ymax[sl],
                 )
-                dy = np.maximum(
-                    np.maximum(self.entry_ymin[sl] - py, py - self.entry_ymax[sl]), 0.0
-                )
-                mind = dx * dx + dy * dy
                 for off in np.argsort(mind, kind="stable"):
                     md = float(mind[off])
                     if md > kth_dist_sq():
@@ -487,13 +485,11 @@ class PackedRTree:
                     )
                     counter.heap_ops += 1
             else:
-                dx = np.maximum(
-                    np.maximum(self.node_xmin[sl] - px, px - self.node_xmax[sl]), 0.0
+                mind = vecgeom.mbr_mindist_sq(
+                    px, py,
+                    self.node_xmin[sl], self.node_ymin[sl],
+                    self.node_xmax[sl], self.node_ymax[sl],
                 )
-                dy = np.maximum(
-                    np.maximum(self.node_ymin[sl] - py, py - self.node_ymax[sl]), 0.0
-                )
-                mind = dx * dx + dy * dy
                 for off in range(c):
                     md = float(mind[off])
                     if md > kth_dist_sq():

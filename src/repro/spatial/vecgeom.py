@@ -25,6 +25,7 @@ from repro.spatial.mbr import MBR
 __all__ = [
     "mbr_intersects_rect",
     "mbr_contains_point",
+    "mbr_mindist_sq",
     "point_segment_distance_sq",
     "segments_contain_point",
     "segments_contain_points",
@@ -59,6 +60,25 @@ def mbr_contains_point(
     symin = np.minimum(y1, y2)
     symax = np.maximum(y1, y2)
     return (sxmin <= px) & (px <= sxmax) & (symin <= py) & (py <= symax)
+
+
+def mbr_mindist_sq(
+    px: np.ndarray, py: np.ndarray,
+    xmin: np.ndarray, ymin: np.ndarray, xmax: np.ndarray, ymax: np.ndarray,
+) -> np.ndarray:
+    """Squared MINDIST from points to boxes, elementwise (Roussopoulos).
+
+    Row ``i`` is the squared distance from ``(px[i], py[i])`` to the nearest
+    point of box ``i`` (zero when the point lies inside).  The expression —
+    ``max(max(lo - p, p - hi), 0)`` per axis, then the sum of squares — is
+    the exact arithmetic of the best-first NN loop in
+    :meth:`repro.spatial.rtree.PackedRTree.nearest_neighbors`, evaluated in
+    the same operation order so the batched search reproduces its bounds bit
+    for bit.
+    """
+    dx = np.maximum(np.maximum(xmin - px, px - xmax), 0.0)
+    dy = np.maximum(np.maximum(ymin - py, py - ymax), 0.0)
+    return dx * dx + dy * dy
 
 
 def point_segment_distance_sq(

@@ -19,8 +19,15 @@ from repro.core.experiment import (
     price_workload,
 )
 from repro.core.gridrun import RunLedger
+from repro.core.batchplan import plans_equal
+from repro.core.queries import KNNQuery
 from repro.core.schemes import ADEQUATE_MEMORY_CONFIGS, Scheme, SchemeConfig
-from repro.data.workloads import proximity_sequence, range_queries
+from repro.data.workloads import (
+    knn_queries,
+    nn_queries,
+    proximity_sequence,
+    range_queries,
+)
 
 FS = SchemeConfig(Scheme.FULLY_SERVER, data_at_client=True)
 FC = SchemeConfig(Scheme.FULLY_CLIENT)
@@ -217,3 +224,27 @@ class TestSessionRun:
         session = Session(pa_small)
         assert session.dataset is pa_small
         assert session.fingerprint == Session(pa_small).fingerprint
+
+
+class TestNNWorkloads:
+    """NN/k-NN workloads through the Session facade's batched planner."""
+
+    def test_plan_grid_nn_knn_batched_vs_scalar(self, env_small, pa_small):
+        qs = nn_queries(pa_small, 4, seed=51) + knn_queries(pa_small, 4, seed=52)
+        schemes = [FC, FS]
+        batched = Session(env_small).plan_grid(qs, schemes)
+        scalar = Session(env_small).plan_grid(qs, schemes, planner="scalar")
+        for b, s in zip(batched, scalar):
+            assert plans_equal(b, s)
+
+    def test_plan_single_knn_query(self, env_small):
+        [plan] = Session(env_small).plan(KNNQuery(0.0, 0.0, k=5), FC)
+        assert plan.n_results == 5
+
+    def test_run_knn_grid(self, env_small, pa_small):
+        qs = knn_queries(pa_small, 3, seed=53)
+        table = Session(env_small).run(
+            qs, schemes=[FC, FS], policies=Policy()
+        )
+        assert len(table) == 2
+        assert all(r.energy_j > 0 for r in table)

@@ -6,9 +6,12 @@ import pytest
 
 from repro.api import Session
 from repro.core.executor import Policy, price_plan
-from repro.core.pipeline import price_pipelined_workload
+from repro.core.pipeline import (
+    plan_and_price_pipelined,
+    price_pipelined_workload,
+)
 from repro.core.schemes import Scheme, SchemeConfig
-from repro.data.workloads import range_queries
+from repro.data.workloads import knn_queries, range_queries
 
 FC = SchemeConfig(Scheme.FULLY_CLIENT)
 FS_PRESENT = SchemeConfig(Scheme.FULLY_SERVER, data_at_client=True)
@@ -91,3 +94,16 @@ class TestEnergy:
         r = price_pipelined_workload(plans, env_small, Policy())
         assert min(r.energy.as_dict().values()) >= 0.0
         assert min(r.cycles.as_dict().values()) >= 0.0
+
+
+class TestNNPipeline:
+    """k-NN workloads stream through the batched planner identically."""
+
+    def test_knn_batched_matches_scalar_planner(self, env_small, pa_small):
+        qs = knn_queries(pa_small, 6, seed=77)
+        batched = plan_and_price_pipelined(env_small, qs, FS_PRESENT)
+        scalar = plan_and_price_pipelined(
+            env_small, qs, FS_PRESENT, planner="scalar"
+        )
+        assert batched.wall_seconds == scalar.wall_seconds
+        assert batched.energy.total() == scalar.energy.total()

@@ -21,11 +21,16 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 from repro.bench.figures import POINT_NN_CONFIGS
 from repro.core.batchplan import plan_workload_batched, plans_equal
 from repro.core.executor import Environment, plan_query
-from repro.core.queries import NNQuery, PointQuery, RangeQuery
+from repro.core.queries import KNNQuery, NNQuery, PointQuery, RangeQuery
 from repro.core.schemes import ADEQUATE_MEMORY_CONFIGS, Scheme, SchemeConfig
 from repro.data import tiger
 from repro.data.model import SegmentDataset
-from repro.data.workloads import nn_queries, point_queries, range_queries
+from repro.data.workloads import (
+    knn_queries,
+    nn_queries,
+    point_queries,
+    range_queries,
+)
 from repro.spatial.mbr import MBR
 
 NN_CONFIGS = (
@@ -93,12 +98,19 @@ def test_fig6_nn_workload(env):
     )
 
 
+def test_knn_workload(env):
+    _assert_differential(
+        env, knn_queries(env.dataset, 30, seed=7), NN_CONFIGS
+    )
+
+
 def test_mixed_query_kinds_one_workload(env):
     ds = env.dataset
     mixed = (
         point_queries(ds, 5, seed=21)
         + range_queries(ds, 5, seed=22)
         + nn_queries(ds, 5, seed=23)
+        + knn_queries(ds, 5, seed=25)
         + point_queries(ds, 5, seed=24)
     )
     _assert_differential(env, mixed, UNIVERSAL_CONFIGS)
@@ -140,6 +152,75 @@ def test_single_query_workload(env):
     _assert_differential(
         env, range_queries(env.dataset, 1, seed=9), ADEQUATE_MEMORY_CONFIGS
     )
+
+
+def test_knn_k_exceeds_dataset():
+    """k past the dataset size: every plan returns the whole dataset."""
+    rng = np.random.default_rng(41)
+    cx = rng.uniform(0, 100, 12)
+    cy = rng.uniform(0, 100, 12)
+    ds = SegmentDataset("tiny", cx, cy, cx + 3.0, cy + 3.0)
+    small = Environment.create(ds)
+    queries = [
+        KNNQuery(10.0, 10.0, k=12),
+        KNNQuery(50.0, 50.0, k=25),
+        KNNQuery(90.0, 5.0, k=100),
+    ]
+    _assert_differential(small, queries, NN_CONFIGS)
+
+
+def test_nn_distance_ties_colocated_segments():
+    """Duplicated segments tie exactly in distance; tie-break replay and
+    the answer order (distance, then id) must both survive batching."""
+    rng = np.random.default_rng(42)
+    cx = rng.uniform(0, 200, 40)
+    cy = rng.uniform(0, 200, 40)
+    x1 = np.concatenate([cx, cx[:15]])
+    y1 = np.concatenate([cy, cy[:15]])
+    x2 = np.concatenate([cx + 5.0, cx[:15] + 5.0])
+    y2 = np.concatenate([cy + 5.0, cy[:15] + 5.0])
+    dup = Environment.create(SegmentDataset("dup", x1, y1, x2, y2))
+    queries = [
+        KNNQuery(float(x), float(y), k=int(k))
+        for x, y, k in zip(
+            rng.uniform(0, 200, 12), rng.uniform(0, 200, 12),
+            rng.integers(1, 20, 12),
+        )
+    ]
+    _assert_differential(dup, queries, NN_CONFIGS)
+
+
+def test_nn_query_points_on_endpoints(env):
+    """Query points lying exactly on segment endpoints (zero distances)."""
+    ds = env.dataset
+    idx = [0, 7, 19, 101]
+    queries = [NNQuery(float(ds.x1[i]), float(ds.y1[i])) for i in idx]
+    queries += [KNNQuery(float(ds.x2[i]), float(ds.y2[i]), k=3) for i in idx]
+    _assert_differential(env, queries, NN_CONFIGS)
+
+
+def test_warm_cache_knn_parity(env):
+    """k-NN planned against a live (unreset) client cache must continue
+    from that exact state — the NN trace replays through the warm sets."""
+    ds = env.dataset
+    warmup = nn_queries(ds, 5, seed=33)
+    work = knn_queries(ds, 10, seed=34)
+    cfg = NN_CONFIGS[0]
+
+    env.reset_caches()
+    for q in warmup:
+        plan_query(q, cfg, env)
+    scalar = [plan_query(q, cfg, env) for q in work]
+    scalar_state = _cache_state(env)
+
+    env.reset_caches()
+    for q in warmup:
+        plan_query(q, cfg, env)
+    [batched] = plan_workload_batched(env, work, [cfg], reset_caches=False)
+    batched_state = _cache_state(env)
+
+    assert plans_equal(batched, scalar)
+    assert batched_state == scalar_state
 
 
 def test_warm_cache_parity(env):
@@ -194,8 +275,30 @@ def window_workloads(draw):
     return queries
 
 
+@st.composite
+def nn_workloads(draw):
+    """Mixed NN/k-NN batches, k occasionally past any dataset size."""
+    k = draw(st.integers(min_value=1, max_value=6))
+    queries = []
+    for _ in range(k):
+        x = draw(st.floats(-100, 1100))
+        y = draw(st.floats(-100, 1100))
+        if draw(st.booleans()):
+            queries.append(NNQuery(x, y))
+        else:
+            queries.append(KNNQuery(x, y, k=draw(st.integers(1, 100))))
+    return queries
+
+
 @given(small_envs(), window_workloads())
 @settings(max_examples=25, deadline=None,
           suppress_health_check=[HealthCheck.too_slow])
 def test_hypothesis_random_windows(hyp_env, queries):
     _assert_differential(hyp_env, queries, ADEQUATE_MEMORY_CONFIGS)
+
+
+@given(small_envs(), nn_workloads())
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_hypothesis_random_nn_batches(hyp_env, queries):
+    _assert_differential(hyp_env, queries, NN_CONFIGS)

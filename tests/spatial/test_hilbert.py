@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.spatial.hilbert import d_to_xy, hilbert_sort_keys, xy_to_d
+from repro.spatial.hilbert import d_to_xy, hilbert_sort_keys, xy_to_d, xy_to_d_bulk
 from repro.spatial.mbr import MBR
 
 
@@ -69,6 +69,55 @@ class TestLocality:
             (1 if (i % n) != 0 else (n - 1) + 1) for i in range(1, n * n)
         )
         assert hilbert_total < row_major_total
+
+
+class TestBulkEquivalence:
+    """xy_to_d_bulk vs the scalar oracle — same indices, same rejections."""
+
+    @pytest.mark.parametrize("order", [1, 2, 5])
+    def test_exhaustive_small_grids(self, order):
+        n = 1 << order
+        gx, gy = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+        keys = xy_to_d_bulk(order, gx.ravel(), gy.ravel())
+        expect = [xy_to_d(order, int(x), int(y))
+                  for x, y in zip(gx.ravel(), gy.ravel())]
+        assert keys.tolist() == expect
+
+    @given(st.integers(min_value=1, max_value=31), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_random_cells_match_scalar(self, order, data):
+        n = 1 << order
+        cells = data.draw(
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=n - 1),
+                    st.integers(min_value=0, max_value=n - 1),
+                ),
+                min_size=1,
+                max_size=40,
+            )
+        )
+        xs = np.array([c[0] for c in cells], dtype=np.uint64)
+        ys = np.array([c[1] for c in cells], dtype=np.uint64)
+        keys = xy_to_d_bulk(order, xs, ys)
+        assert keys.tolist() == [xy_to_d(order, x, y) for x, y in cells]
+
+    def test_out_of_grid_raises(self):
+        with pytest.raises(ValueError):
+            xy_to_d_bulk(2, np.array([0, 4]), np.array([0, 0]))
+        with pytest.raises(ValueError):
+            xy_to_d_bulk(2, np.array([0]), np.array([7]))
+
+    def test_bad_order_and_shape_raise(self):
+        with pytest.raises(ValueError):
+            xy_to_d_bulk(0, np.zeros(1, dtype=np.uint64), np.zeros(1, dtype=np.uint64))
+        with pytest.raises(ValueError):
+            xy_to_d_bulk(32, np.zeros(1, dtype=np.uint64), np.zeros(1, dtype=np.uint64))
+        with pytest.raises(ValueError):
+            xy_to_d_bulk(4, np.zeros(2, dtype=np.uint64), np.zeros(3, dtype=np.uint64))
+
+    def test_empty_input(self):
+        assert xy_to_d_bulk(8, np.empty(0), np.empty(0)).size == 0
 
 
 class TestVectorized:
