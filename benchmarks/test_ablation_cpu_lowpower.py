@@ -11,7 +11,7 @@ from __future__ import annotations
 from repro.bench.report import render_rows
 from repro.constants import MBPS
 from repro.core.executor import Policy
-from repro.core.experiment import plan_workload, price_workload
+from repro.api import Session
 from repro.core.schemes import ADEQUATE_MEMORY_CONFIGS, Scheme
 from repro.data.workloads import range_queries
 
@@ -21,19 +21,22 @@ def test_ablation_cpu_lowpower(benchmark, pa_env, pa_full, save_report):
     comm_configs = [
         c for c in ADEQUATE_MEMORY_CONFIGS if c.scheme is not Scheme.FULLY_CLIENT
     ]
+    session = Session(pa_env)
     all_plans = {
-        cfg.label: plan_workload(qs, cfg, pa_env) for cfg in comm_configs
+        cfg.label: session.plan(qs, cfg) for cfg in comm_configs
     }
 
     def run():
         rows = []
         for label, plans in all_plans.items():
-            on = price_workload(
-                plans, pa_env, Policy(cpu_lowpower=True).with_bandwidth(2 * MBPS)
-            )
-            off = price_workload(
-                plans, pa_env, Policy(cpu_lowpower=False).with_bandwidth(2 * MBPS)
-            )
+            on = session.price(
+                plans, Policy(cpu_lowpower=True).with_bandwidth(2 * MBPS),
+                engine="scalar",
+            )[0]
+            off = session.price(
+                plans, Policy(cpu_lowpower=False).with_bandwidth(2 * MBPS),
+                engine="scalar",
+            )[0]
             rows.append(
                 {
                     "scheme": label,

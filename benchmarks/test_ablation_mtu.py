@@ -13,7 +13,7 @@ from dataclasses import replace
 from repro.bench.report import render_rows
 from repro.constants import DEFAULT_NETWORK, MBPS
 from repro.core.executor import Policy
-from repro.core.experiment import plan_workload, price_workload
+from repro.api import Session
 from repro.core.schemes import Scheme, SchemeConfig
 from repro.data.workloads import range_queries
 
@@ -23,13 +23,14 @@ MTUS = (296, 576, 1500, 9000)
 
 def test_ablation_mtu(benchmark, pa_env, pa_full, save_report):
     qs = range_queries(pa_full, 100)
-    plans = plan_workload(qs, FS_ABSENT, pa_env)
+    session = Session(pa_env)
+    plans = session.plan(qs, FS_ABSENT)
 
     def run():
         rows = []
         for mtu in MTUS:
             net = replace(DEFAULT_NETWORK, mtu_bytes=mtu, bandwidth_bps=2 * MBPS)
-            r = price_workload(plans, pa_env, Policy(network=net))
+            r = session.price(plans, Policy(network=net), engine="scalar")[0]
             rows.append(
                 {
                     "mtu_bytes": mtu,

@@ -12,7 +12,7 @@ from __future__ import annotations
 from repro.bench.report import render_rows
 from repro.constants import MBPS
 from repro.core.executor import Policy
-from repro.core.experiment import plan_workload, price_workload
+from repro.api import Session
 from repro.core.schemes import Scheme, SchemeConfig
 from repro.data.workloads import range_queries
 
@@ -24,17 +24,20 @@ CONFIGS = (
 
 def test_ablation_nic_sleep(benchmark, pa_env, pa_full, save_report):
     qs = range_queries(pa_full, 100)
-    all_plans = {cfg.label: plan_workload(qs, cfg, pa_env) for cfg in CONFIGS}
+    session = Session(pa_env)
+    all_plans = {cfg.label: session.plan(qs, cfg) for cfg in CONFIGS}
 
     def run():
         rows = []
         for label, plans in all_plans.items():
-            asleep = price_workload(
-                plans, pa_env, Policy(nic_sleep=True).with_bandwidth(2 * MBPS)
-            )
-            idle = price_workload(
-                plans, pa_env, Policy(nic_sleep=False).with_bandwidth(2 * MBPS)
-            )
+            asleep = session.price(
+                plans, Policy(nic_sleep=True).with_bandwidth(2 * MBPS),
+                engine="scalar",
+            )[0]
+            idle = session.price(
+                plans, Policy(nic_sleep=False).with_bandwidth(2 * MBPS),
+                engine="scalar",
+            )[0]
             rows.append(
                 {
                     "scheme": label,

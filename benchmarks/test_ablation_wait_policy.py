@@ -12,7 +12,7 @@ from __future__ import annotations
 from repro.bench.report import render_rows
 from repro.constants import BANDWIDTHS_MBPS, MBPS
 from repro.core.executor import Policy
-from repro.core.experiment import plan_workload, price_workload
+from repro.api import Session
 from repro.core.schemes import Scheme, SchemeConfig
 from repro.data.workloads import range_queries
 
@@ -21,17 +21,20 @@ FS_ABSENT = SchemeConfig(Scheme.FULLY_SERVER, data_at_client=False)
 
 def test_ablation_wait_policy(benchmark, pa_env, pa_full, save_report):
     qs = range_queries(pa_full, 100)
-    plans = plan_workload(qs, FS_ABSENT, pa_env)
+    session = Session(pa_env)
+    plans = session.plan(qs, FS_ABSENT)
 
     def run():
         rows = []
         for bw in BANDWIDTHS_MBPS:
-            block = price_workload(
-                plans, pa_env, Policy(busy_wait=False).with_bandwidth(bw * MBPS)
-            )
-            spin = price_workload(
-                plans, pa_env, Policy(busy_wait=True).with_bandwidth(bw * MBPS)
-            )
+            block = session.price(
+                plans, Policy(busy_wait=False).with_bandwidth(bw * MBPS),
+                engine="scalar",
+            )[0]
+            spin = session.price(
+                plans, Policy(busy_wait=True).with_bandwidth(bw * MBPS),
+                engine="scalar",
+            )[0]
             rows.append(
                 {
                     "bandwidth_mbps": bw,

@@ -29,7 +29,7 @@ from repro.bench.report import render_rows
 from repro.constants import MBPS
 from repro.core.broadcast import BroadcastClient, BroadcastSchedule
 from repro.core.executor import Environment, Policy
-from repro.core.experiment import plan_workload, price_workload
+from repro.api import Session
 from repro.core.queries import RangeQuery
 from repro.core.schemes import Scheme, SchemeConfig
 from repro.data.workloads import proximity_sequence
@@ -73,11 +73,13 @@ def test_ext_broadcast_hot_region(benchmark, pa_env, pa_full, save_report):
     policy = Policy().with_bandwidth(2 * MBPS)
     hot_env, cov, hot_ids = _hot_region_env(pa_env)
     qs = _workload_inside(pa_full, cov)
-    on_demand_plans = plan_workload(qs, ON_DEMAND, pa_env)
+    session = Session(pa_env)
+    hot_session = Session(hot_env)
+    on_demand_plans = session.plan(qs, ON_DEMAND)
 
     def run():
         rows = []
-        od = price_workload(on_demand_plans, pa_env, policy)
+        od = session.price(on_demand_plans, policy, engine="scalar")[0]
         rows.append(
             {
                 "delivery": "on-demand (fully at server)",
@@ -100,7 +102,7 @@ def test_ext_broadcast_hot_region(benchmark, pa_env, pa_full, save_report):
             for label, kwargs in variants:
                 client = BroadcastClient(sched, **kwargs)
                 plans = client.plan_workload(qs, seed=41)
-                r = price_workload(plans, hot_env, policy)
+                r = hot_session.price(plans, policy, engine="scalar")[0]
                 rows.append(
                     {
                         "delivery": "broadcast: " + label,

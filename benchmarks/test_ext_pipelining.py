@@ -12,7 +12,7 @@ from __future__ import annotations
 from repro.bench.report import render_rows
 from repro.constants import BANDWIDTHS_MBPS, MBPS
 from repro.core.executor import Policy
-from repro.core.experiment import plan_workload, price_workload
+from repro.api import Session
 from repro.core.pipeline import price_pipelined_workload
 from repro.core.schemes import Scheme, SchemeConfig
 from repro.data.workloads import range_queries
@@ -26,7 +26,8 @@ CONFIGS = (
 
 def test_ext_pipelining(benchmark, pa_env, pa_full, save_report):
     qs = range_queries(pa_full, 100)
-    all_plans = {cfg.label: plan_workload(qs, cfg, pa_env) for cfg in CONFIGS}
+    session = Session(pa_env)
+    all_plans = {cfg.label: session.plan(qs, cfg) for cfg in CONFIGS}
 
     def run():
         rows = []
@@ -34,7 +35,7 @@ def test_ext_pipelining(benchmark, pa_env, pa_full, save_report):
             for bw in (2.0, 11.0):
                 policy = Policy().with_bandwidth(bw * MBPS)
                 pipe = price_pipelined_workload(plans, pa_env, policy)
-                seq = price_workload(plans, pa_env, policy)
+                seq = session.price(plans, policy, engine="scalar")[0]
                 rows.append(
                     {
                         "scheme": label,

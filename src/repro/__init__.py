@@ -33,7 +33,7 @@ Quickstart::
         print(row.bandwidth_mbps, "Mbps:", row.energy_j, "J,", row.cycles, "cycles")
 """
 
-from repro.api import RunRow, RunTable, Session
+from repro.api import Engine, RunRow, RunTable, Session
 from repro.constants import (
     BANDWIDTHS_MBPS,
     DEFAULT_CLIENT,
@@ -57,6 +57,8 @@ from repro.core import (
     execute,
 )
 from repro.data import SegmentDataset
+from repro.data.workloads import ClientProfile, QueryRequest, client_fleet, fleet_query_stream
+from repro.serve import QueryOutcome, QueryService, ServiceReport
 from repro.spatial import MBR, PackedRTree
 
 __version__ = "1.0.0"
@@ -64,8 +66,16 @@ __version__ = "1.0.0"
 __all__ = [
     "__version__",
     "Session",
+    "Engine",
     "RunTable",
     "RunRow",
+    "QueryService",
+    "QueryOutcome",
+    "ServiceReport",
+    "ClientProfile",
+    "QueryRequest",
+    "client_fleet",
+    "fleet_query_stream",
     "BANDWIDTHS_MBPS",
     "DEFAULT_CLIENT",
     "DEFAULT_COSTS",

@@ -1,9 +1,10 @@
-"""The front door: ``Session`` plans, prices and records experiment grids.
+"""The front door: ``Engine`` cores, ``Session`` facades, run tables.
 
-The seed grew four scattered entry points in :mod:`repro.core.experiment`
+The seed grew four scattered entry points in ``repro.core.experiment``
 (``plan_workload``, ``price_workload``, ``bandwidth_sweep``,
 ``plan_cached_workload``); every figure, example and CLI command stitched
-them together by hand.  This module replaces them with one facade::
+them together by hand.  Those shims have been removed after their
+deprecation cycle; this module is the one facade::
 
     from repro.api import Session
     from repro.core.executor import Policy
@@ -16,25 +17,20 @@ them together by hand.  This module replaces them with one facade::
     for row in table:
         print(row.scheme, row.bandwidth_mbps, row.energy_j)
 
-A :class:`Session` owns one environment plus the machinery the batched
-runtime needs between calls: the plan cache (keyed on dataset fingerprint x
-workload x scheme — repeated sweeps never re-plan), the compile cache for
-:mod:`repro.core.gridrun`, and an optional :class:`~repro.core.gridrun.RunLedger`
-that every phase reports into.
+Since the service arc, the machinery behind the facade lives in
+:class:`Engine`: one environment plus everything the batched runtime needs
+between calls — the plan cache (keyed on dataset fingerprint x workload x
+scheme, so repeated sweeps never re-plan), the phase-data cache, the compile
+cache for :mod:`repro.core.gridrun`, and an optional
+:class:`~repro.core.gridrun.RunLedger` that every phase reports into.
+:class:`Session` is a thin single-user wrapper over an :class:`Engine`;
+:class:`repro.serve.QueryService` shares the same core for multi-tenant
+serving.  Construct an :class:`Engine` once and hand it to both when a
+session and a service should share caches::
 
-Migration from the legacy entry points:
-
-==============================================  ===============================
-old call                                        new call
-==============================================  ===============================
-``plan_workload(qs, cfg, env)``                 ``session.plan(qs, cfg)``
-``price_workload(plans, env, policy)``          ``session.price(plans, policy)[0]``
-``bandwidth_sweep(qs, cfgs, env)``              ``session.run(qs, schemes=cfgs).cells()``
-``plan_cached_workload(qs, env, budget)``       ``session.plan_cached(qs, budget)``
-==============================================  ===============================
-
-The old functions survive as :class:`DeprecationWarning` shims delegating
-here.
+    engine = Engine(dataset)
+    session = Session(engine)
+    service = QueryService(engine, max_queue=256)
 """
 
 from __future__ import annotations
@@ -55,6 +51,7 @@ from repro.core.executor import (
     price_plan,
 )
 from repro.core.gridrun import (
+    GridResult,
     PlanCache,
     RunLedger,
     dataset_fingerprint,
@@ -65,7 +62,15 @@ from repro.core.schemes import SchemeConfig
 from repro.data.model import SegmentDataset
 from repro.sim.metrics import NICDwell
 
-__all__ = ["Session", "RunTable", "RunRow", "SweepCell", "ENGINES", "PLANNERS"]
+__all__ = [
+    "Engine",
+    "Session",
+    "RunTable",
+    "RunRow",
+    "SweepCell",
+    "ENGINES",
+    "PLANNERS",
+]
 
 #: Pricing engines a session can run: ``"batched"`` is the vectorized
 #: grid pricer (the default), ``"scalar"`` the per-step oracle walk.
@@ -223,19 +228,23 @@ class RunTable:
         return min(self.rows, key=lambda r: getattr(r, metric))
 
 
-class Session:
-    """Plan, price and record experiment grids over one dataset.
+class Engine:
+    """The reusable plan/price/ledger core behind every front end.
 
     ``source`` is a :class:`~repro.data.model.SegmentDataset` (an
     environment is created for it) or a ready
     :class:`~repro.core.executor.Environment` (for custom CPU models, as in
     the Figure 8 clock-ratio experiment).
 
-    The session carries a :class:`~repro.core.gridrun.PlanCache` so
-    identical (workload, scheme) requests are planned once, a compile cache
-    so plans are symbolically compiled once per wire framing, and optionally
-    a :class:`~repro.core.gridrun.RunLedger` receiving ``plan`` / ``price``
-    / ``run`` events for every call.
+    The engine carries a :class:`~repro.core.gridrun.PlanCache` so identical
+    (workload, scheme) requests are planned once, a
+    :class:`~repro.core.batchplan.PhaseDataCache` so identical queries share
+    one traversal, a compile cache so plans are symbolically compiled once
+    per wire framing, and optionally a
+    :class:`~repro.core.gridrun.RunLedger` every phase reports into.  Both
+    :class:`Session` (single user) and :class:`repro.serve.QueryService`
+    (multi-tenant) are thin wrappers over an engine; sharing one engine
+    shares all of its caches.
     """
 
     def __init__(
@@ -251,14 +260,22 @@ class Session:
             self.env = Environment.create(source)
         else:
             raise TypeError(
-                "Session() takes a SegmentDataset or an Environment, got "
-                f"{type(source).__name__}"
+                f"{type(self).__name__}() takes a SegmentDataset or an "
+                f"Environment, got {type(source).__name__}"
+            )
+        if plan_cache is not None and not isinstance(plan_cache, PlanCache):
+            raise TypeError(
+                f"plan_cache must be a PlanCache, got {type(plan_cache).__name__}"
+            )
+        if ledger is not None and not isinstance(ledger, RunLedger):
+            raise TypeError(
+                f"ledger must be a RunLedger, got {type(ledger).__name__}"
             )
         self.dataset = self.env.dataset
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
         self.ledger = ledger
         self._fingerprint: Optional[str] = None
-        self._compile_cache: Dict[tuple, object] = {}
+        self.compile_cache: Dict[tuple, object] = {}
         self._phase_cache: Optional[PhaseDataCache] = None
 
     # ------------------------------------------------------------------
@@ -269,6 +286,25 @@ class Session:
             self._fingerprint = dataset_fingerprint(self.dataset)
         return self._fingerprint
 
+    @property
+    def phase_cache(self) -> PhaseDataCache:
+        """Per-query phase work, memoized across schemes and plan calls.
+
+        Created lazily (keyed to the dataset fingerprint) and handed to the
+        batched planner so that identical queries — within a workload,
+        across repeated ``plan``/``run`` calls, or across a service fleet's
+        clients — have their filter/refine phases computed once.
+        """
+        if self._phase_cache is None:
+            self._phase_cache = PhaseDataCache(self.fingerprint)
+        return self._phase_cache
+
+    def record(self, event: str, **fields) -> None:
+        """Record a ledger event, if this engine has a ledger."""
+        if self.ledger is not None:
+            self.ledger.record(event, **fields)
+
+    # ------------------------------------------------------------------
     @staticmethod
     def _as_queries(workload) -> List[Query]:
         if isinstance(workload, Query):
@@ -293,19 +329,6 @@ class Session:
         return out
 
     # ------------------------------------------------------------------
-    @property
-    def phase_cache(self) -> PhaseDataCache:
-        """Per-query phase work, memoized across schemes and plan calls.
-
-        Created lazily (keyed to the dataset fingerprint) and handed to the
-        batched planner so that identical queries — within a workload, or
-        across repeated ``plan``/``run`` calls — have their filter/refine
-        phases computed once.
-        """
-        if self._phase_cache is None:
-            self._phase_cache = PhaseDataCache(self.fingerprint)
-        return self._phase_cache
-
     def _plan_serial(self, queries: List[Query], scheme: SchemeConfig) -> List[QueryPlan]:
         """One scheme's workload through the scalar per-query planner."""
         return [plan_query(q, scheme, self.env) for q in queries]
@@ -405,6 +428,24 @@ class Session:
                 )
         return [plans if plans is not None else [] for plans in per_scheme]
 
+    def price_grid(
+        self,
+        plans: Sequence[QueryPlan],
+        policies: Union[Policy, Sequence[Policy], None] = None,
+    ) -> GridResult:
+        """The full plans x policies grid through the vectorized pricer.
+
+        Unlike :meth:`price` this returns the raw
+        :class:`~repro.core.gridrun.GridResult`, whose per-cell
+        ``result(i, j)`` the service's per-query outcomes are built from.
+        """
+        return price_grid(
+            list(plans),
+            self._as_policies(policies),
+            self.env,
+            compile_cache=self.compile_cache,
+        )
+
     def price(
         self,
         plans: Sequence[QueryPlan],
@@ -426,24 +467,129 @@ class Session:
             )
         start = time.perf_counter()
         if engine == "batched":
-            grid = price_grid(
-                plans, pols, self.env, compile_cache=self._compile_cache
-            )
+            grid = self.price_grid(plans, pols)
             results = [grid.combine_policy(j) for j in range(len(pols))]
         else:
             results = [
                 RunResult.combine([price_plan(p, self.env, pol) for p in plans])
                 for pol in pols
             ]
-        if self.ledger is not None:
-            self.ledger.record(
-                "price",
-                engine=engine,
-                n_plans=len(plans),
-                n_policies=len(pols),
-                seconds=time.perf_counter() - start,
-            )
+        self.record(
+            "price",
+            engine=engine,
+            n_plans=len(plans),
+            n_policies=len(pols),
+            seconds=time.perf_counter() - start,
+        )
         return results
+
+
+class Session:
+    """Plan, price and record experiment grids over one dataset.
+
+    ``source`` is a :class:`~repro.data.model.SegmentDataset`, a ready
+    :class:`~repro.core.executor.Environment`, or an :class:`Engine` to
+    share (its plan/phase/compile caches and ledger are adopted; the
+    ``plan_cache``/``ledger`` keywords then must stay unset).  The session
+    itself is a thin single-user wrapper: all caching, compilation and
+    ledger machinery lives on :attr:`engine`.
+    """
+
+    def __init__(
+        self,
+        source: Union[SegmentDataset, Environment, Engine],
+        *,
+        plan_cache: Optional[PlanCache] = None,
+        ledger: Optional[RunLedger] = None,
+    ) -> None:
+        if isinstance(source, Engine):
+            if plan_cache is not None or ledger is not None:
+                raise TypeError(
+                    "plan_cache and ledger are configured on the shared "
+                    "Engine; do not pass them again"
+                )
+            self.engine = source
+        elif isinstance(source, (SegmentDataset, Environment)):
+            self.engine = Engine(source, plan_cache=plan_cache, ledger=ledger)
+        else:
+            raise TypeError(
+                "Session() takes a SegmentDataset or an Environment (or a "
+                f"shared Engine), got {type(source).__name__}"
+            )
+
+    # ------------------------------------------------------------------
+    # Engine delegation: the session's state *is* the engine's state.
+    @property
+    def env(self) -> Environment:
+        """The engine's environment."""
+        return self.engine.env
+
+    @property
+    def dataset(self) -> SegmentDataset:
+        """The engine's dataset."""
+        return self.engine.dataset
+
+    @property
+    def plan_cache(self) -> PlanCache:
+        """The engine's plan cache."""
+        return self.engine.plan_cache
+
+    @property
+    def ledger(self) -> Optional[RunLedger]:
+        """The engine's ledger (``None`` when not recording)."""
+        return self.engine.ledger
+
+    @property
+    def fingerprint(self) -> str:
+        """The dataset's content hash (computed once, keys the plan cache)."""
+        return self.engine.fingerprint
+
+    @property
+    def phase_cache(self) -> PhaseDataCache:
+        """The engine's phase-data cache."""
+        return self.engine.phase_cache
+
+    # Backwards-compatible aliases for the pre-Engine attribute layout.
+    _as_queries = staticmethod(Engine._as_queries)
+    _as_policies = staticmethod(Engine._as_policies)
+    _as_schemes = staticmethod(Engine._as_schemes)
+
+    # ------------------------------------------------------------------
+    def plan(
+        self,
+        workload: Union[Query, Sequence[Query]],
+        scheme: SchemeConfig,
+        *,
+        reset_caches: bool = True,
+        planner: str = "batched",
+    ) -> List[QueryPlan]:
+        """Plan a workload under one scheme (see :meth:`Engine.plan`)."""
+        return self.engine.plan(
+            workload, scheme, reset_caches=reset_caches, planner=planner
+        )
+
+    def plan_grid(
+        self,
+        workload: Union[Query, Sequence[Query]],
+        schemes: Union[SchemeConfig, Sequence[SchemeConfig]],
+        *,
+        reset_caches: bool = True,
+        planner: str = "batched",
+    ) -> List[List[QueryPlan]]:
+        """Plan a scheme grid (see :meth:`Engine.plan_grid`)."""
+        return self.engine.plan_grid(
+            workload, schemes, reset_caches=reset_caches, planner=planner
+        )
+
+    def price(
+        self,
+        plans: Sequence[QueryPlan],
+        policies: Union[Policy, Sequence[Policy], None] = None,
+        *,
+        engine: str = "batched",
+    ) -> List[RunResult]:
+        """Workload-summed results per policy (see :meth:`Engine.price`)."""
+        return self.engine.price(plans, policies, engine=engine)
 
     def run(
         self,
@@ -458,27 +604,27 @@ class Session:
         """Plan and price the full schemes x policies grid.
 
         ``policies=None`` prices the paper's standard bandwidth sweep
-        (:meth:`Policy.sweep`).  Planning goes through :meth:`plan_grid`, so
-        the whole scheme grid shares one batched traversal of the workload.
-        Returns a :class:`RunTable`, scheme-major.
+        (:meth:`Policy.sweep`).  Planning goes through
+        :meth:`Engine.plan_grid`, so the whole scheme grid shares one
+        batched traversal of the workload.  Returns a :class:`RunTable`,
+        scheme-major.
         """
-        queries = self._as_queries(workload)
-        configs = self._as_schemes(schemes)
-        pols = self._as_policies(policies)
+        core = self.engine
+        queries = core._as_queries(workload)
+        configs = core._as_schemes(schemes)
+        pols = core._as_policies(policies)
         if engine not in ENGINES:
             raise ValueError(
                 f"unknown engine {engine!r}; choose from {ENGINES}"
             )
-        grid_plans = self.plan_grid(
+        grid_plans = core.plan_grid(
             queries, configs, reset_caches=reset_caches, planner=planner
         )
         rows: List[RunRow] = []
         for config, plans in zip(configs, grid_plans):
             if engine == "batched":
                 start = time.perf_counter()
-                grid = price_grid(
-                    plans, pols, self.env, compile_cache=self._compile_cache
-                )
+                grid = core.price_grid(plans, pols)
                 priced = time.perf_counter() - start
                 scheme_rows = [
                     RunRow(
@@ -496,14 +642,14 @@ class Session:
                         scheme=config.label,
                         policy=pol,
                         result=RunResult.combine(
-                            [price_plan(p, self.env, pol) for p in plans]
+                            [price_plan(p, core.env, pol) for p in plans]
                         ),
                     )
                     for pol in pols
                 ]
                 priced = time.perf_counter() - start
-            if self.ledger is not None:
-                self.ledger.record(
+            if core.ledger is not None:
+                core.record(
                     "price",
                     engine=engine,
                     scheme=config.label,
@@ -512,7 +658,7 @@ class Session:
                     seconds=priced,
                 )
                 for row in scheme_rows:
-                    self.ledger.record("run", **row.to_record())
+                    core.record("run", **row.to_record())
             rows.extend(scheme_rows)
         return RunTable(rows=tuple(rows))
 
@@ -530,22 +676,22 @@ class Session:
         statistics the Figure 10 bench reports).  These plans depend on the
         client buffer's evolving state, so they bypass the plan cache.
         """
-        queries = self._as_queries(workload)
+        core = self.engine
+        queries = core._as_queries(workload)
         start = time.perf_counter()
         if reset_caches:
-            self.env.reset_caches()
-        cache_session = ClientCacheSession(self.env, budget_bytes)
+            core.env.reset_caches()
+        cache_session = ClientCacheSession(core.env, budget_bytes)
         plans = cache_session.plan_sequence(list(queries))
-        if self.ledger is not None:
-            self.ledger.record(
-                "plan",
-                dataset=self.dataset.name,
-                scheme=f"cached-client:{budget_bytes}B",
-                planner="scalar",
-                n_queries=len(queries),
-                seconds=time.perf_counter() - start,
-                cache_hit=False,
-                local_hits=cache_session.local_hits,
-                misses=cache_session.misses,
-            )
+        core.record(
+            "plan",
+            dataset=core.dataset.name,
+            scheme=f"cached-client:{budget_bytes}B",
+            planner="scalar",
+            n_queries=len(queries),
+            seconds=time.perf_counter() - start,
+            cache_hit=False,
+            local_hits=cache_session.local_hits,
+            misses=cache_session.misses,
+        )
         return plans, cache_session

@@ -13,6 +13,9 @@ Commands
 ``bench``
     Time the batched grid pricer against the scalar oracle on a figure
     sweep; ``--ledger PATH`` writes the structured JSON-lines run-ledger.
+``serve``
+    Run the multi-tenant query service over a generated client fleet and
+    print throughput, admission, and latency/energy percentiles.
 ``taxonomy``
     Print the Table 1 work-partitioning taxonomy.
 
@@ -246,6 +249,59 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench.provenance import stamp_record
+    from repro.core.gridrun import RunLedger
+    from repro.data.workloads import client_fleet, fleet_query_stream
+    from repro.serve import QueryService
+
+    env = _load_env(args.dataset, args.scale)
+    rate = (args.rate, args.rate) if args.rate is not None else (0.5, 2.0)
+    fleet = client_fleet(args.clients, seed=args.seed, rate_qps=rate)
+    requests = fleet_query_stream(
+        env.dataset, fleet, duration_s=args.duration, seed=args.seed + 1
+    )
+    with RunLedger(path=args.ledger) as ledger:
+        service = QueryService(
+            env,
+            max_queue=args.max_queue,
+            max_batch=args.max_batch,
+            batch_window_s=args.window,
+            ledger=ledger,
+        )
+        report = service.serve(requests, fleet, planner=args.planner)
+    s = report.summary()
+    print(
+        f"served {s['n_served']}/{s['n_requests']} requests from "
+        f"{args.clients} clients in {s['n_batches']} batches "
+        f"({args.planner} planner)"
+    )
+    print(
+        f"rejected: {s['n_rejected_queue']} queue-full, "
+        f"{s['n_rejected_battery']} battery-exhausted"
+    )
+    print(f"throughput : {s['qps']:.1f} q/s over {s['makespan_s']:.1f} s simulated")
+    print(
+        f"latency    : p50 {s['p50_latency_s'] * 1e3:.2f} ms, "
+        f"p99 {s['p99_latency_s'] * 1e3:.2f} ms"
+    )
+    print(
+        f"energy     : p50 {s['p50_energy_j'] * 1e3:.3f} mJ, "
+        f"p99 {s['p99_energy_j'] * 1e3:.3f} mJ, "
+        f"total {s['total_energy_j']:.3f} J"
+    )
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(stamp_record(dict(s)), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"json    : {args.json}")
+    if args.ledger:
+        print(f"ledger  : {args.ledger}")
+    return 0
+
+
 def cmd_planbench(args: argparse.Namespace) -> int:
     import json
 
@@ -365,6 +421,31 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--ledger", metavar="PATH", default=None,
                    help="write the JSON-lines run-ledger to PATH")
 
+    sv = sub.add_parser(
+        "serve",
+        help="serve a generated client fleet through the multi-tenant service",
+    )
+    sv.add_argument("--clients", type=int, default=50,
+                    help="number of simulated clients in the fleet")
+    sv.add_argument("--rate", type=float, default=None, metavar="QPS",
+                    help="per-client arrival rate (default: mixed 0.5-2 q/s)")
+    sv.add_argument("--duration", type=float, default=10.0,
+                    help="arrival-window length (simulated seconds)")
+    sv.add_argument("--planner", default="batched",
+                    choices=("batched", "serial"),
+                    help="micro-batched service or serial per-client baseline")
+    sv.add_argument("--max-queue", type=int, default=256,
+                    help="bounded arrival-queue capacity")
+    sv.add_argument("--max-batch", type=int, default=64,
+                    help="micro-batch size cap")
+    sv.add_argument("--window", type=float, default=0.05,
+                    help="batch-formation window (seconds)")
+    sv.add_argument("--seed", type=int, default=23, help="fleet/stream seed")
+    sv.add_argument("--ledger", metavar="PATH", default=None,
+                    help="write the JSON-lines run-ledger to PATH")
+    sv.add_argument("--json", metavar="PATH", default=None,
+                    help="write the machine-readable summary to PATH")
+
     pb = sub.add_parser(
         "planbench",
         help="time batched vs scalar planning; --json PATH writes BENCH_plan.json",
@@ -389,6 +470,7 @@ _COMMANDS = {
     "query": cmd_query,
     "figure": cmd_figure,
     "bench": cmd_bench,
+    "serve": cmd_serve,
     "planbench": cmd_planbench,
 }
 

@@ -9,7 +9,9 @@ Public surface:
   scheme (energy + cycle breakdowns).
 * :mod:`repro.core.clientcache` — insufficient-memory cached client.
 * :mod:`repro.core.analytic` — the section-4.1 closed-form model.
-* :mod:`repro.core.experiment` — workload sweep harness.
+
+Workload sweeps run through the :class:`repro.api.Session` facade (the
+``repro.core.experiment`` shims were removed after a deprecation cycle).
 """
 
 from repro.core.engine import QueryEngine

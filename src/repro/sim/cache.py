@@ -229,14 +229,31 @@ class BatchedLRU:
             rows = slice(s["offset"], s["offset"] + s["n_sets"])
             assoc_row[rows] = s["assoc"]
             if s["seed"] is not None:
-                for i, ways in enumerate(s["seed"]):
-                    if len(ways) > s["assoc"]:
-                        raise ValueError("seed set exceeds associativity")
-                    if ways:
-                        syn_vset_parts.append(
-                            np.full(len(ways), s["offset"] + i, dtype=np.int64)
+                lens = np.fromiter(
+                    (len(ways) for ways in s["seed"]),
+                    dtype=np.int64,
+                    count=s["n_sets"],
+                )
+                if lens.max(initial=0) > s["assoc"]:
+                    raise ValueError("seed set exceeds associativity")
+                if lens.any():
+                    syn_vset_parts.append(
+                        np.repeat(
+                            np.arange(
+                                s["offset"],
+                                s["offset"] + s["n_sets"],
+                                dtype=np.int64,
+                            ),
+                            lens,
                         )
-                        syn_tag_parts.append(np.asarray(ways, dtype=np.int64))
+                    )
+                    syn_tag_parts.append(
+                        np.fromiter(
+                            (t for ways in s["seed"] for t in ways),
+                            dtype=np.int64,
+                            count=int(lens.sum()),
+                        )
+                    )
             lines = s["lines"]
             s["slice"] = slice(pos, pos + lines.size)
             pos += lines.size

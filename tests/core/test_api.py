@@ -1,4 +1,4 @@
-"""Session facade: legacy-entry-point equivalence, validation, RunTable."""
+"""Session facade: engine/planner equivalence, validation, RunTable."""
 
 from __future__ import annotations
 
@@ -12,12 +12,6 @@ from repro.constants import (
     NICPowerTable,
 )
 from repro.core.executor import WAIT_POLICIES, Policy
-from repro.core.experiment import (
-    bandwidth_sweep,
-    plan_cached_workload,
-    plan_workload,
-    price_workload,
-)
 from repro.core.gridrun import RunLedger
 from repro.core.batchplan import plans_equal
 from repro.core.queries import KNNQuery
@@ -33,30 +27,16 @@ FS = SchemeConfig(Scheme.FULLY_SERVER, data_at_client=True)
 FC = SchemeConfig(Scheme.FULLY_CLIENT)
 
 
-class TestLegacyEquivalence:
-    """The four deprecated entry points warn and match Session exactly."""
+class TestEngineEquivalence:
+    """Scalar and batched planners/pricers stay interchangeable."""
 
-    def test_plan_workload(self, env_small, pa_small):
-        qs = range_queries(pa_small, 4, seed=31)
-        with pytest.warns(DeprecationWarning, match="plan_workload"):
-            legacy = plan_workload(qs, FS, env_small)
-        new = Session(env_small).plan(qs, FS)
-        assert len(legacy) == len(new) == len(qs)
-        for a, b in zip(legacy, new):
-            assert len(a.steps) == len(b.steps)
-            assert a.n_candidates == b.n_candidates
-
-    def test_price_workload_bitwise(self, env_small, pa_small):
+    def test_serial_and_batched_planners_agree(self, env_small, pa_small):
         qs = range_queries(pa_small, 4, seed=31)
         session = Session(env_small)
-        plans = session.plan(qs, FS)
-        policy = Policy().with_bandwidth(6 * MBPS)
-        with pytest.warns(DeprecationWarning, match="price_workload"):
-            legacy = price_workload(plans, env_small, policy)
-        new = session.price(plans, policy, engine="scalar")[0]
-        assert legacy.energy.total() == new.energy.total()
-        assert legacy.cycles.total() == new.cycles.total()
-        assert legacy.wall_seconds == new.wall_seconds
+        batched = session.plan(qs, FS)
+        serial = Session(env_small).plan(qs, FS, planner="scalar")
+        assert len(batched) == len(serial) == len(qs)
+        assert plans_equal(batched, serial)
 
     def test_scalar_and_batched_engines_agree(self, env_small, pa_small):
         qs = range_queries(pa_small, 4, seed=31)
@@ -72,33 +52,35 @@ class TestLegacyEquivalence:
                 scalar.cycles.total(), rel=1e-9
             )
 
-    def test_bandwidth_sweep(self, env_small, pa_small):
+    def test_run_matches_per_policy_scalar_pricing(self, env_small, pa_small):
         qs = range_queries(pa_small, 3, seed=32)
         configs = ADEQUATE_MEMORY_CONFIGS[:2]
-        with pytest.warns(DeprecationWarning, match="bandwidth_sweep"):
-            legacy = bandwidth_sweep(qs, configs, env_small)
         policies = [
             Policy().with_bandwidth(bw * MBPS) for bw in BANDWIDTHS_MBPS
         ]
-        table = Session(env_small).run(qs, schemes=configs, policies=policies)
+        session = Session(env_small)
+        table = session.run(qs, schemes=configs, policies=policies)
         cells = table.cells()
-        assert set(legacy) == set(cells)
-        for label in legacy:
-            for old, new in zip(legacy[label], cells[label]):
-                assert old.bandwidth_mbps == new.bandwidth_mbps
-                assert old.energy_j == new.energy_j
-                assert old.cycles == new.cycles
+        assert set(cells) == {cfg.label for cfg in configs}
+        for cfg in configs:
+            plans = session.plan(qs, cfg)
+            oracle = session.price(plans, policies, engine="scalar")
+            for bw, cell, ref in zip(BANDWIDTHS_MBPS, cells[cfg.label], oracle):
+                assert cell.bandwidth_mbps == bw
+                assert cell.energy_j == pytest.approx(
+                    ref.energy.total(), rel=1e-9
+                )
+                assert cell.cycles == pytest.approx(
+                    ref.cycles.total(), rel=1e-9
+                )
 
-    def test_plan_cached_workload(self, env_small, pa_small):
+    def test_plan_cached_deterministic(self, env_small, pa_small):
         qs = proximity_sequence(pa_small, y=4, n_groups=2, seed=33)
-        with pytest.warns(DeprecationWarning, match="plan_cached_workload"):
-            legacy_plans, legacy_cache = plan_cached_workload(
-                qs, env_small, 256 * 1024
-            )
-        new_plans, new_cache = Session(env_small).plan_cached(qs, 256 * 1024)
-        assert len(legacy_plans) == len(new_plans)
-        assert legacy_cache.local_hits == new_cache.local_hits
-        assert legacy_cache.misses == new_cache.misses
+        plans_a, cache_a = Session(env_small).plan_cached(qs, 256 * 1024)
+        plans_b, cache_b = Session(env_small).plan_cached(qs, 256 * 1024)
+        assert len(plans_a) == len(plans_b) == len(qs)
+        assert cache_a.local_hits == cache_b.local_hits
+        assert cache_a.misses == cache_b.misses
 
 
 class TestPolicyConstruction:

@@ -97,3 +97,37 @@ class TestBenchCommand:
     def test_bench_in_memory(self, capsys):
         assert main(["--scale", "0.02", "bench", "--runs", "2", "--sweep", "fig6"]) == 0
         assert "price" in capsys.readouterr().out
+
+    def test_serve(self, capsys, tmp_path):
+        import json
+
+        from repro.core.gridrun import read_ledger
+
+        ledger = str(tmp_path / "serve.jsonl")
+        out_json = str(tmp_path / "serve.json")
+        assert main(
+            [
+                "--scale", "0.02", "serve",
+                "--clients", "4", "--duration", "2", "--seed", "3",
+                "--ledger", ledger, "--json", out_json,
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out and "latency" in out
+        events = {r["event"] for r in read_ledger(ledger)}
+        assert {"serve_batch", "outcome", "serve"} <= events
+        with open(out_json) as fh:
+            record = json.load(fh)
+        assert record["planner"] == "batched"
+        assert record["n_served"] >= 0
+        assert "provenance" in record
+
+    def test_serve_serial_planner(self, capsys):
+        assert main(
+            [
+                "--scale", "0.02", "serve",
+                "--clients", "2", "--duration", "1",
+                "--planner", "serial", "--rate", "1.5",
+            ]
+        ) == 0
+        assert "serial planner" in capsys.readouterr().out

@@ -1,0 +1,210 @@
+"""Fleet generator and arrival stream: validation, determinism, structure."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.constants import BANDWIDTHS_MBPS, MBPS
+from repro.core.executor import Policy
+from repro.core.queries import NNQuery, PointQuery
+from repro.core.schemes import ADEQUATE_MEMORY_CONFIGS, Scheme, SchemeConfig
+from repro.data.workloads import (
+    QUERY_KINDS,
+    ClientProfile,
+    QueryRequest,
+    client_fleet,
+    fleet_query_stream,
+)
+
+FS = SchemeConfig(Scheme.FULLY_SERVER, data_at_client=True)
+FCRS = SchemeConfig(Scheme.FILTER_CLIENT_REFINE_SERVER, data_at_client=True)
+POLICY = Policy().with_bandwidth(2 * MBPS)
+
+
+class TestClientProfile:
+    def test_defaults(self):
+        p = ClientProfile(client_id=3, policy=POLICY, scheme=FS)
+        assert p.rate_qps == 1.0
+        assert p.mix == ("point", "range")
+        assert math.isinf(p.battery_j)
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"client_id": -1},
+            {"rate_qps": 0.0},
+            {"mix": ()},
+            {"mix": ("warp",)},
+            {"battery_j": 0.0},
+        ],
+    )
+    def test_invalid_values(self, kw):
+        base = dict(client_id=0, policy=POLICY, scheme=FS)
+        base.update(kw)
+        with pytest.raises(ValueError):
+            ClientProfile(**base)
+
+    def test_invalid_types(self):
+        with pytest.raises(TypeError):
+            ClientProfile(client_id=0, policy="fast", scheme=FS)
+        with pytest.raises(TypeError):
+            ClientProfile(client_id=0, policy=POLICY, scheme="FS")
+
+    def test_nn_illegal_under_filter_split(self):
+        with pytest.raises(ValueError, match="cannot serve NN"):
+            ClientProfile(
+                client_id=0, policy=POLICY, scheme=FCRS, mix=("nn",)
+            )
+        with pytest.raises(ValueError, match="cannot serve NN"):
+            ClientProfile(
+                client_id=0, policy=POLICY, scheme=FCRS, mix=("point", "knn")
+            )
+
+
+class TestQueryRequest:
+    def test_validation(self):
+        q = PointQuery(0.0, 0.0)
+        with pytest.raises(TypeError):
+            QueryRequest(client_id=0, query="north", arrival_s=0.0)
+        with pytest.raises(ValueError):
+            QueryRequest(client_id=0, query=q, arrival_s=-1.0)
+
+
+class TestClientFleet:
+    def test_shape_and_ids(self):
+        fleet = client_fleet(40, seed=3)
+        assert len(fleet) == 40
+        assert [p.client_id for p in fleet] == list(range(40))
+
+    def test_deterministic(self):
+        assert client_fleet(12, seed=5) == client_fleet(12, seed=5)
+        assert client_fleet(12, seed=5) != client_fleet(12, seed=6)
+
+    def test_draws_stay_inside_grids(self):
+        fleet = client_fleet(60, seed=7)
+        labels = {cfg.label for cfg in ADEQUATE_MEMORY_CONFIGS}
+        for p in fleet:
+            assert p.scheme.label in labels
+            assert p.policy.network.bandwidth_bps / MBPS in BANDWIDTHS_MBPS
+            assert 0.5 <= p.rate_qps <= 2.0
+            assert set(p.mix) <= set(QUERY_KINDS)
+
+    def test_schemes_override(self):
+        fleet = client_fleet(10, seed=9, schemes=[FS])
+        assert all(p.scheme == FS for p in fleet)
+
+    def test_battery_fraction(self):
+        fleet = client_fleet(
+            40, seed=11, battery_j=5.0, low_battery_fraction=0.5
+        )
+        finite = [p for p in fleet if math.isfinite(p.battery_j)]
+        assert 0 < len(finite) < len(fleet)
+        for p in finite:
+            assert 2.5 <= p.battery_j <= 7.5
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            client_fleet(0)
+        with pytest.raises(ValueError):
+            client_fleet(4, rate_qps=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            client_fleet(4, schemes=[])
+        with pytest.raises(ValueError):
+            client_fleet(4, low_battery_fraction=2.0)
+
+
+class TestFleetQueryStream:
+    def test_sorted_and_bounded(self, pa_small):
+        fleet = client_fleet(8, seed=13)
+        reqs = fleet_query_stream(pa_small, fleet, duration_s=5.0, seed=17)
+        assert reqs
+        times = [(r.arrival_s, r.client_id) for r in reqs]
+        assert times == sorted(times)
+        assert all(0.0 <= r.arrival_s < 5.0 for r in reqs)
+        assert {r.client_id for r in reqs} <= set(range(8))
+
+    def test_deterministic(self, pa_small):
+        fleet = client_fleet(5, seed=13)
+        a = fleet_query_stream(pa_small, fleet, duration_s=3.0, seed=19)
+        b = fleet_query_stream(pa_small, fleet, duration_s=3.0, seed=19)
+        assert [(r.client_id, r.arrival_s, repr(r.query)) for r in a] == [
+            (r.client_id, r.arrival_s, repr(r.query)) for r in b
+        ]
+
+    def test_subfleet_stream_is_independent_of_fleet_size(self, pa_small):
+        """Client c's arrivals depend only on (seed, c), not on the fleet."""
+        fleet = client_fleet(6, seed=13)
+        full = fleet_query_stream(pa_small, fleet, duration_s=3.0, seed=19)
+        sub = fleet_query_stream(
+            pa_small, fleet[:2], duration_s=3.0, seed=19
+        )
+        restricted = [r for r in full if r.client_id < 2]
+        assert [(r.client_id, r.arrival_s, repr(r.query)) for r in sub] == [
+            (r.client_id, r.arrival_s, repr(r.query)) for r in restricted
+        ]
+
+    def test_hot_queries_repeat_across_clients(self, pa_small):
+        # Hot pools exist for point/range only, so pin the mix; every
+        # arrival must then come from the 2-per-kind shared pool.
+        fleet = [
+            ClientProfile(
+                client_id=c, policy=POLICY, scheme=FS,
+                mix=("point", "range"), rate_qps=2.0,
+            )
+            for c in range(6)
+        ]
+        reqs = fleet_query_stream(
+            pa_small, fleet, duration_s=5.0, seed=19,
+            hot_fraction=1.0, hot_pool=2,
+        )
+        assert len(reqs) > 4
+        assert len({repr(r.query) for r in reqs}) <= 4
+
+    def test_mix_respected(self, pa_small):
+        fleet = [
+            ClientProfile(
+                client_id=0, policy=POLICY, scheme=FS, mix=("nn",),
+                rate_qps=4.0,
+            )
+        ]
+        reqs = fleet_query_stream(
+            pa_small, fleet, duration_s=4.0, seed=21, hot_fraction=0.9
+        )
+        assert reqs
+        assert all(isinstance(r.query, NNQuery) for r in reqs)
+
+    def test_rate_scales_arrivals(self, pa_small):
+        slow = [
+            ClientProfile(
+                client_id=0, policy=POLICY, scheme=FS, rate_qps=0.5
+            )
+        ]
+        fast = [
+            ClientProfile(
+                client_id=0, policy=POLICY, scheme=FS, rate_qps=8.0
+            )
+        ]
+        n_slow = len(
+            fleet_query_stream(pa_small, slow, duration_s=30.0, seed=23)
+        )
+        n_fast = len(
+            fleet_query_stream(pa_small, fast, duration_s=30.0, seed=23)
+        )
+        assert n_fast > 4 * n_slow
+
+    def test_invalid_params(self, pa_small):
+        fleet = client_fleet(2, seed=13)
+        with pytest.raises(ValueError):
+            fleet_query_stream(pa_small, [], duration_s=1.0)
+        with pytest.raises(ValueError):
+            fleet_query_stream(pa_small, fleet, duration_s=0.0)
+        with pytest.raises(ValueError):
+            fleet_query_stream(
+                pa_small, fleet, duration_s=1.0, hot_fraction=1.5
+            )
+        with pytest.raises(ValueError):
+            fleet_query_stream(
+                pa_small, fleet, duration_s=1.0, hot_pool=-1
+            )
