@@ -80,7 +80,10 @@ ENGINES = ("batched", "scalar")
 #: workload at once (:mod:`repro.core.batchplan`, the default), ``"scalar"``
 #: walks one query at a time through ``plan_query``.  Both produce
 #: bit-identical plans; the differential suite holds them to that.
-PLANNERS = ("batched", "scalar")
+#: ``"columnar"`` fuses planning and pricing into one array pass
+#: (:mod:`repro.core.colplan`) — it never materializes plan objects, so it
+#: is only valid for :meth:`Session.run` / :meth:`Engine.run_columnar`.
+PLANNERS = ("batched", "scalar", "columnar")
 
 
 @dataclass(frozen=True)
@@ -376,6 +379,12 @@ class Engine:
             raise ValueError(
                 f"unknown planner {planner!r}; choose from {PLANNERS}"
             )
+        if planner == "columnar":
+            raise ValueError(
+                "planner='columnar' fuses planning and pricing and never "
+                "materializes plans; use Session.run(planner='columnar') "
+                "or Engine.run_columnar()"
+            )
         start = time.perf_counter()
         per_scheme: List[Optional[List[QueryPlan]]] = []
         missing: List[int] = []
@@ -482,6 +491,56 @@ class Engine:
             seconds=time.perf_counter() - start,
         )
         return results
+
+    def run_columnar(
+        self,
+        workload: Union[Query, Sequence[Query]],
+        schemes: Union[SchemeConfig, Sequence[SchemeConfig]],
+        policies: Union[Policy, Sequence[Policy], None] = None,
+        *,
+        reset_caches: bool = True,
+        processes: Optional[int] = None,
+    ) -> List[GridResult]:
+        """Plan and price the grid in one fused columnar pass.
+
+        Returns one :class:`~repro.core.gridrun.GridResult` per scheme
+        (scheme order), each bit-identical to pricing the batched planner's
+        plans through :meth:`price_grid`.  No plan objects exist, so the
+        plan cache is bypassed; the phase cache still dedups traversals.
+        ``processes`` shards the traversal over query blocks (exact).
+        """
+        from repro.core.colplan import plan_and_price_columnar
+
+        queries = self._as_queries(workload)
+        configs = self._as_schemes(schemes)
+        pols = self._as_policies(policies)
+        start = time.perf_counter()
+        grids = plan_and_price_columnar(
+            self.env,
+            queries,
+            configs,
+            pols,
+            reset_caches=reset_caches,
+            phase_cache=self.phase_cache,
+            processes=processes,
+        )
+        elapsed = time.perf_counter() - start
+        if self.ledger is not None:
+            per_scheme = elapsed / len(configs) if configs else 0.0
+            for config in configs:
+                self.ledger.record(
+                    "plan",
+                    dataset=self.dataset.name,
+                    scheme=config.label,
+                    planner="columnar",
+                    n_queries=len(queries),
+                    seconds=per_scheme,
+                    cache_hit=False,
+                    cache_hits=self.plan_cache.hits,
+                    cache_misses=self.plan_cache.misses,
+                    cache_hit_rate=self.plan_cache.hit_rate,
+                )
+        return grids
 
 
 class Session:
@@ -617,6 +676,42 @@ class Session:
             raise ValueError(
                 f"unknown engine {engine!r}; choose from {ENGINES}"
             )
+        if planner == "columnar":
+            if engine != "batched":
+                raise ValueError(
+                    "planner='columnar' prices through the grid engine; "
+                    "it cannot be combined with engine='scalar'"
+                )
+            start = time.perf_counter()
+            grids = core.run_columnar(
+                queries, configs, pols, reset_caches=reset_caches
+            )
+            priced = time.perf_counter() - start
+            rows = []
+            per_scheme = priced / len(configs) if configs else 0.0
+            for config, grid in zip(configs, grids):
+                scheme_rows = [
+                    RunRow(
+                        scheme=config.label,
+                        policy=pol,
+                        result=grid.combine_policy(j),
+                        dwell=grid.dwell(j),
+                    )
+                    for j, pol in enumerate(pols)
+                ]
+                if core.ledger is not None:
+                    core.record(
+                        "price",
+                        engine="columnar",
+                        scheme=config.label,
+                        n_plans=len(queries),
+                        n_policies=len(pols),
+                        seconds=per_scheme,
+                    )
+                    for row in scheme_rows:
+                        core.record("run", **row.to_record())
+                rows.extend(scheme_rows)
+            return RunTable(rows=tuple(rows))
         grid_plans = core.plan_grid(
             queries, configs, reset_caches=reset_caches, planner=planner
         )

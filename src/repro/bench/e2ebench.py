@@ -1,0 +1,313 @@
+"""End-to-end workload→RunTable benchmark: fused columnar vs the object paths.
+
+Where :mod:`repro.bench.planbench` times *planning* alone, this measures the
+whole pipeline a caller actually pays for — :meth:`repro.api.Session.run`
+from a raw workload to a finished :class:`~repro.api.RunTable` — under three
+engine/planner pairings:
+
+``scalar``
+    ``planner="scalar", engine="scalar"`` — the per-query reference: one
+    :func:`~repro.core.executor.plan_query` walk and one
+    :func:`~repro.core.executor.price_plan` call per (query, scheme, policy).
+``batched``
+    ``planner="batched", engine="batched"`` — batched traversal into plan
+    objects, then the vectorized grid pricer.
+``columnar``
+    ``planner="columnar", engine="batched"`` — the fused
+    :func:`~repro.core.colplan.plan_and_price_columnar` pass (no plan
+    objects at all).
+
+Methodology matches planbench: every side runs once untimed (page-fault
+warm-up is not engine work) and that warm-up pass doubles as the parity
+check — columnar must match batched **bit for bit** and the scalar
+reference to ``rel_tol``; then ``repeats`` timed rounds interleaved in one
+process, minimum per side.  Each timed round constructs a fresh
+:class:`~repro.api.Session` (fresh plan/phase/compile caches) so no side
+amortizes another's warm state; the environment itself is shared because
+``Session.run`` resets the cache sims per workload.
+
+One measurement routine shared by ``repro planbench --planner columnar``,
+the ``benchmarks/test_e2e_speedup.py`` gate (which archives
+``BENCH_e2e.json``) and the CI bench-smoke step.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.api import RunTable, Session
+from repro.core.executor import Environment, Policy
+from repro.core.queries import Query
+from repro.core.schemes import SchemeConfig
+
+__all__ = [
+    "E2E_SIDES",
+    "measure_e2e_speedup",
+    "measure_e2e_speedup_kinds",
+    "render_e2e_speedup",
+    "render_e2e_speedup_kinds",
+    "run_table_once",
+    "tables_match",
+]
+
+#: Side name -> the (planner, engine) pair :meth:`Session.run` gets.
+E2E_SIDES: Dict[str, Tuple[str, str]] = {
+    "scalar": ("scalar", "scalar"),
+    "batched": ("batched", "batched"),
+    "columnar": ("columnar", "batched"),
+}
+
+
+def run_table_once(
+    env: Environment,
+    queries: Sequence[Query],
+    configs: Sequence[SchemeConfig],
+    policies: Sequence[Policy],
+    *,
+    planner: str = "batched",
+    engine: str = "batched",
+) -> Tuple[RunTable, float]:
+    """One cold workload→RunTable pass; returns ``(table, seconds)``.
+
+    A fresh :class:`Session` per call means fresh plan/phase/compile
+    caches — the measurement is the full cost a new session pays, not an
+    incremental re-price.
+    """
+    session = Session(env)
+    t0 = time.perf_counter()
+    table = session.run(
+        list(queries),
+        schemes=list(configs),
+        policies=list(policies),
+        engine=engine,
+        planner=planner,
+    )
+    return table, time.perf_counter() - t0
+
+
+def _max_rel(a, b) -> float:
+    """Worst relative difference across a value tree.
+
+    Recurses through dataclasses, tuples/lists and numpy arrays; floats
+    contribute ``|a-b| / max(|a|,|b|)``; discrete leaves (ints, strings,
+    bools, int arrays) must match exactly and contribute ``inf`` when they
+    do not, so one bad verdict can never average away.
+    """
+    if a is None or b is None:
+        return 0.0 if a is b else float("inf")
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        a, b = np.asarray(a), np.asarray(b)
+        if a.shape != b.shape:
+            return float("inf")
+        if np.issubdtype(a.dtype, np.floating) or np.issubdtype(
+            b.dtype, np.floating
+        ):
+            denom = np.maximum(np.abs(a), np.abs(b))
+            diff = np.abs(a.astype(np.float64) - b.astype(np.float64))
+            with np.errstate(invalid="ignore", divide="ignore"):
+                rel = np.where(denom > 0.0, diff / denom, diff)
+            return float(rel.max()) if rel.size else 0.0
+        return 0.0 if np.array_equal(a, b) else float("inf")
+    if isinstance(a, bool) or isinstance(b, bool):
+        return 0.0 if a == b else float("inf")
+    if isinstance(a, float) or isinstance(b, float):
+        if a == b:
+            return 0.0
+        denom = max(abs(a), abs(b))
+        return abs(a - b) / denom if denom > 0.0 else float("inf")
+    if isinstance(a, (int, str)):
+        return 0.0 if a == b else float("inf")
+    if dataclasses.is_dataclass(a):
+        if type(a) is not type(b):
+            return float("inf")
+        return max(
+            (
+                _max_rel(getattr(a, f.name), getattr(b, f.name))
+                for f in dataclasses.fields(a)
+            ),
+            default=0.0,
+        )
+    if isinstance(a, (tuple, list)):
+        if not isinstance(b, (tuple, list)) or len(a) != len(b):
+            return float("inf")
+        return max((_max_rel(x, y) for x, y in zip(a, b)), default=0.0)
+    return 0.0 if a == b else float("inf")
+
+
+def tables_match(
+    table: RunTable, oracle: RunTable, *, rel_tol: float = 0.0
+) -> Tuple[bool, float]:
+    """Compare two RunTables row for row; returns ``(ok, max_rel_err)``.
+
+    Rows must line up by (scheme, policy); every numeric field of each
+    row's :class:`~repro.core.executor.RunResult` must agree to
+    ``rel_tol`` relative error (``0.0`` = bit-identical) and every
+    discrete field (answer ids, op tallies, message shapes) exactly.
+    NIC dwell is compared only when both sides carry one — the scalar
+    engine reports none.
+    """
+    if len(table.rows) != len(oracle.rows):
+        return False, float("inf")
+    worst = 0.0
+    for a, b in zip(table.rows, oracle.rows):
+        if a.scheme != b.scheme or a.policy != b.policy:
+            return False, float("inf")
+        worst = max(worst, _max_rel(a.result, b.result))
+        if a.dwell is not None and b.dwell is not None:
+            worst = max(worst, _max_rel(a.dwell, b.dwell))
+    return worst <= rel_tol, worst
+
+
+def measure_e2e_speedup(
+    env: Environment,
+    queries: Sequence[Query],
+    configs: Sequence[SchemeConfig],
+    policies: Optional[Sequence[Policy]] = None,
+    *,
+    repeats: int = 3,
+    rel_tol: float = 1e-9,
+) -> Dict[str, object]:
+    """Time scalar vs batched vs columnar end-to-end on one workload.
+
+    Returns the ``BENCH_e2e.json`` payload::
+
+        {"benchmark": "e2e_speedup", "dataset": ..., "n_queries": ...,
+         "n_configs": ..., "n_policies": ..., "repeats": ..., "rel_tol": ...,
+         "scalar_seconds": ..., "batched_seconds": ..., "columnar_seconds": ...,
+         "columnar_vs_scalar": ..., "batched_vs_scalar": ...,
+         "columnar_vs_batched": ...,
+         "tables_match": <all parity checks passed>,
+         "columnar_exact_vs_batched": ..., "max_rel_err_vs_scalar": ...}
+
+    Parity is established on the warm-up pass: columnar vs batched must be
+    bit-identical, columnar vs the scalar reference within ``rel_tol``.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    queries = list(queries)
+    configs = list(configs)
+    policies = list(policies) if policies is not None else Policy.sweep()
+
+    # Warm-up (untimed) + the differential checks.
+    tables = {
+        side: run_table_once(
+            env, queries, configs, policies, planner=planner, engine=engine
+        )[0]
+        for side, (planner, engine) in E2E_SIDES.items()
+    }
+    exact_ok, _ = tables_match(tables["columnar"], tables["batched"])
+    scalar_ok, scalar_err = tables_match(
+        tables["columnar"], tables["scalar"], rel_tol=rel_tol
+    )
+
+    seconds = {side: float("inf") for side in E2E_SIDES}
+    for _ in range(repeats):
+        for side, (planner, engine) in E2E_SIDES.items():
+            _, s = run_table_once(
+                env, queries, configs, policies, planner=planner, engine=engine
+            )
+            seconds[side] = min(seconds[side], s)
+
+    def ratio(num: float, den: float) -> float:
+        return num / den if den > 0 else float("inf")
+
+    return {
+        "benchmark": "e2e_speedup",
+        "dataset": env.dataset.name,
+        "n_queries": len(queries),
+        "n_configs": len(configs),
+        "n_policies": len(policies),
+        "repeats": repeats,
+        "rel_tol": rel_tol,
+        "scalar_seconds": seconds["scalar"],
+        "batched_seconds": seconds["batched"],
+        "columnar_seconds": seconds["columnar"],
+        "columnar_vs_scalar": ratio(seconds["scalar"], seconds["columnar"]),
+        "batched_vs_scalar": ratio(seconds["scalar"], seconds["batched"]),
+        "columnar_vs_batched": ratio(seconds["batched"], seconds["columnar"]),
+        "tables_match": bool(exact_ok and scalar_ok),
+        "columnar_exact_vs_batched": bool(exact_ok),
+        "max_rel_err_vs_scalar": scalar_err,
+    }
+
+
+def measure_e2e_speedup_kinds(
+    env: Environment,
+    kinds: Sequence[str],
+    *,
+    runs: int = 100,
+    repeats: int = 3,
+    rel_tol: float = 1e-9,
+) -> Dict[str, object]:
+    """Per-kind end-to-end timing, one :func:`measure_e2e_speedup` per kind.
+
+    Each kind gets the same paper workload and scheme grid the per-kind
+    planbench uses (:func:`repro.bench.planbench._kind_workload`), priced
+    over the standard bandwidth sweep.  Returns::
+
+        {"benchmark": "e2e_speedup_kinds", "dataset": ..., "runs": ...,
+         "repeats": ..., "kinds": {"range": {<measure_e2e_speedup row>}, ...},
+         "tables_match": <all kinds>, "min_speedup": <worst columnar_vs_scalar>}
+    """
+    from repro.bench.planbench import _kind_workload
+
+    kinds = list(kinds)
+    if not kinds:
+        raise ValueError("kinds must name at least one query kind")
+    rows: Dict[str, Dict[str, object]] = {}
+    for kind in kinds:
+        queries, configs = _kind_workload(env, kind, runs)
+        rows[kind] = measure_e2e_speedup(
+            env, queries, configs, repeats=repeats, rel_tol=rel_tol
+        )
+    return {
+        "benchmark": "e2e_speedup_kinds",
+        "dataset": env.dataset.name,
+        "runs": runs,
+        "repeats": repeats,
+        "kinds": rows,
+        "tables_match": all(r["tables_match"] for r in rows.values()),
+        "min_speedup": min(r["columnar_vs_scalar"] for r in rows.values()),
+    }
+
+
+def render_e2e_speedup(record: Dict[str, object]) -> str:
+    """One human-readable block for a :func:`measure_e2e_speedup` record."""
+    lines = [
+        "e2e_speedup: workload -> RunTable, fused columnar vs object paths",
+        f"  dataset      : {record['dataset']}"
+        f"  ({record['n_queries']} queries x {record['n_configs']} configs"
+        f" x {record['n_policies']} policies, min of {record['repeats']})",
+        f"  scalar       : {record['scalar_seconds']:.3f} s",
+        f"  batched      : {record['batched_seconds']:.3f} s"
+        f"  ({record['batched_vs_scalar']:.2f}x)",
+        f"  columnar     : {record['columnar_seconds']:.3f} s"
+        f"  ({record['columnar_vs_scalar']:.2f}x scalar,"
+        f" {record['columnar_vs_batched']:.2f}x batched)",
+        f"  tables match : {record['tables_match']}"
+        f"  (exact vs batched: {record['columnar_exact_vs_batched']},"
+        f" worst rel err vs scalar: {record['max_rel_err_vs_scalar']:.2e})",
+    ]
+    return "\n".join(lines)
+
+
+def render_e2e_speedup_kinds(record: Dict[str, object]) -> str:
+    """Per-kind table for a :func:`measure_e2e_speedup_kinds` record."""
+    lines = [
+        "e2e_speedup_kinds: workload -> RunTable per query kind",
+        f"  dataset : {record['dataset']}"
+        f"  ({record['runs']} queries/kind, min of {record['repeats']})",
+        "  kind   scalar_s  columnar_s  vs_scalar  vs_batched  tables_match",
+    ]
+    for kind, row in record["kinds"].items():
+        lines.append(
+            f"  {kind:<6} {row['scalar_seconds']:>8.3f} "
+            f"{row['columnar_seconds']:>11.3f} "
+            f"{row['columnar_vs_scalar']:>8.2f}x "
+            f"{row['columnar_vs_batched']:>10.2f}x  {row['tables_match']}"
+        )
+    return "\n".join(lines)

@@ -302,11 +302,24 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep_workload(env: Environment, sweep: str, runs: int):
+    """The (queries, configs) pair a planbench ``--sweep`` entry times."""
+    from repro.bench.planbench import NN_CONFIGS
+    from repro.data.workloads import nn_queries, point_queries, range_queries
+
+    if sweep == "fig5":
+        return range_queries(env.dataset, runs), list(ADEQUATE_MEMORY_CONFIGS)
+    if sweep == "fig4":
+        from repro.bench.figures import POINT_NN_CONFIGS
+
+        return point_queries(env.dataset, runs), list(POINT_NN_CONFIGS)
+    return nn_queries(env.dataset, runs), list(NN_CONFIGS)
+
+
 def cmd_planbench(args: argparse.Namespace) -> int:
     import json
 
     from repro.bench.planbench import (
-        NN_CONFIGS,
         PLAN_KINDS,
         measure_plan_speedup,
         measure_plan_speedup_kinds,
@@ -314,9 +327,9 @@ def cmd_planbench(args: argparse.Namespace) -> int:
         render_plan_speedup_kinds,
     )
     from repro.bench.provenance import stamp_record
-    from repro.data.workloads import nn_queries, point_queries, range_queries
 
     env = _load_env(args.dataset, args.scale)
+    kinds = None
     if args.kinds:
         kinds = [k.strip() for k in args.kinds.split(",") if k.strip()]
         unknown = [k for k in kinds if k not in PLAN_KINDS]
@@ -327,25 +340,47 @@ def cmd_planbench(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 1
+    if args.planner == "columnar":
+        from repro.bench.e2ebench import (
+            measure_e2e_speedup,
+            measure_e2e_speedup_kinds,
+            render_e2e_speedup,
+            render_e2e_speedup_kinds,
+        )
+
+        if kinds is not None:
+            record = measure_e2e_speedup_kinds(
+                env, kinds, runs=args.runs, repeats=args.repeat
+            )
+            render = render_e2e_speedup_kinds
+            worst = record["min_speedup"]
+        else:
+            qs, configs = _sweep_workload(env, args.sweep, args.runs)
+            record = measure_e2e_speedup(env, qs, configs, repeats=args.repeat)
+            record["sweep"] = args.sweep
+            render = render_e2e_speedup
+            worst = record["columnar_vs_scalar"]
+        parity = record["tables_match"]
+        parity_fail = "FAIL: columnar RunTables differ from the scalar oracle"
+        slow_fail = "FAIL: columnar engine slower than scalar"
+    elif kinds is not None:
         record = measure_plan_speedup_kinds(
             env, kinds, runs=args.runs, repeats=args.repeat
         )
         render = render_plan_speedup_kinds
         worst = record["min_speedup"]
+        parity = record["plans_equal"]
+        parity_fail = "FAIL: batched plans differ from scalar plans"
+        slow_fail = "FAIL: batched planner slower than scalar"
     else:
-        if args.sweep == "fig5":
-            gen, configs = range_queries, list(ADEQUATE_MEMORY_CONFIGS)
-        elif args.sweep == "fig4":
-            from repro.bench.figures import POINT_NN_CONFIGS
-
-            gen, configs = point_queries, list(POINT_NN_CONFIGS)
-        else:
-            gen, configs = nn_queries, list(NN_CONFIGS)
-        qs = gen(env.dataset, args.runs)
+        qs, configs = _sweep_workload(env, args.sweep, args.runs)
         record = measure_plan_speedup(env, qs, configs, repeats=args.repeat)
         record["sweep"] = args.sweep
         render = render_plan_speedup
         worst = record["speedup"]
+        parity = record["plans_equal"]
+        parity_fail = "FAIL: batched plans differ from scalar plans"
+        slow_fail = "FAIL: batched planner slower than scalar"
     record["scale"] = args.scale
     print(render(record))
     if args.json:
@@ -353,14 +388,11 @@ def cmd_planbench(args: argparse.Namespace) -> int:
             json.dump(stamp_record(record), fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"json    : {args.json}")
-    if not record["plans_equal"]:
-        print("FAIL: batched plans differ from scalar plans", file=sys.stderr)
+    if not parity:
+        print(parity_fail, file=sys.stderr)
         return 1
     if worst < 1.0:
-        print(
-            f"FAIL: batched planner slower than scalar ({worst:.2f}x)",
-            file=sys.stderr,
-        )
+        print(f"{slow_fail} ({worst:.2f}x)", file=sys.stderr)
         return 1
     return 0
 
@@ -432,8 +464,9 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--duration", type=float, default=10.0,
                     help="arrival-window length (simulated seconds)")
     sv.add_argument("--planner", default="batched",
-                    choices=("batched", "serial"),
-                    help="micro-batched service or serial per-client baseline")
+                    choices=("batched", "columnar", "serial"),
+                    help="micro-batched service, fused columnar service, "
+                         "or serial per-client baseline")
     sv.add_argument("--max-queue", type=int, default=256,
                     help="bounded arrival-queue capacity")
     sv.add_argument("--max-batch", type=int, default=64,
@@ -456,6 +489,11 @@ def build_parser() -> argparse.ArgumentParser:
                     help="comma-separated query kinds (point,range,nn,knn); "
                          "reports one speedup row per kind and overrides "
                          "--sweep")
+    pb.add_argument("--planner", default="batched",
+                    choices=("batched", "columnar"),
+                    help="batched: time planning alone vs the scalar walk; "
+                         "columnar: time the fused plan+price end-to-end "
+                         "vs the scalar reference")
     pb.add_argument("--runs", type=int, default=100, help="queries per workload")
     pb.add_argument("--repeat", type=int, default=3,
                     help="timed rounds per planner (min is reported)")

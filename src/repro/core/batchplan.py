@@ -167,14 +167,31 @@ class CacheGeometry:
             [_INDEX_STRIDE, self.data_stride, self.result_stride], dtype=np.int64
         )
         addr = bases[regions] + ids * strides[regions]
-        first = addr // self.line_bytes
-        last = (addr + nbytes - 1) // self.line_bytes
+        lb = self.line_bytes
+        if lb & (lb - 1) == 0:
+            sh = lb.bit_length() - 1
+            first = addr >> sh
+            last = (addr + nbytes - 1) >> sh
+        else:
+            first = addr // lb
+            last = (addr + nbytes - 1) // lb
         counts = np.where(nbytes > 0, last - first + 1, 0)
         total = int(counts.sum())
         run_starts = np.cumsum(counts) - counts
-        lines = np.repeat(first - run_starts, counts) + np.arange(
-            total, dtype=np.int64
-        )
+        i32 = np.iinfo(np.int32)
+        if total <= i32.max and (
+            first.size == 0
+            or (int(first.min()) >= 0 and int(last.max()) <= i32.max)
+        ):
+            # The synthetic address map fits 32 bits, so the (much longer)
+            # expanded line sequence can be built at half the bandwidth.
+            lines = np.repeat(
+                (first - run_starts).astype(np.int32), counts
+            ) + np.arange(total, dtype=np.int32)
+        else:
+            lines = np.repeat(first - run_starts, counts) + np.arange(
+                total, dtype=np.int64
+            )
         return lines, counts
 
 
@@ -701,40 +718,22 @@ def _assemble_plan(
     return QueryPlan(query, config, steps, answer_ids, n_cand, n_res)
 
 
-def plan_workload_batched(
+def _replay_workload(
     env: Environment,
-    queries: Sequence[Query],
+    phases: Sequence[QueryPhases],
     configs: Sequence[SchemeConfig],
+    costs,
     *,
-    reset_caches: bool = True,
-    phase_cache: Optional[PhaseDataCache] = None,
-) -> List[List[QueryPlan]]:
-    """Plan every query under every scheme configuration at once.
+    reset_caches: bool,
+) -> Tuple[BatchedLRU, List[Dict[str, Tuple[_Stream, int]]], Dict[str, object]]:
+    """Build and run every configuration's per-side replay streams.
 
-    Equivalent, plan for plan and bit for bit, to::
-
-        for config in configs:
-            env.reset_caches()          # reset_caches=True (the grid loop)
-            [plan_query(q, config, env) for q in queries]
-
-    including the caches' final state.  With ``reset_caches=False`` the
-    replay instead continues from the caches' current contents, chaining
-    all configurations on one warm timeline (no cross-config stream
-    sharing is possible then).  Returns one plan list per configuration,
-    aligned with ``configs``.
+    The shared replay core of :func:`plan_workload_batched` and the
+    columnar engine (:mod:`repro.core.colplan`).  Returns the finished
+    :class:`BatchedLRU`, one ``side -> (stream, first-phase offset)``
+    mapping per configuration, and the live cache simulators by side
+    (for :func:`_writeback_sims`).
     """
-    queries = list(queries)
-    configs = list(configs)
-    # Scalar planning validates config-major, query-minor; keep the first
-    # error identical (but raise before doing any work).
-    for config in configs:
-        for q in queries:
-            config.validate_for(q)
-    if not configs:
-        return []
-    costs = env.dataset.costs
-    phases = compute_query_phases(env, queries, phase_cache)
-
     client = env.client_cpu
     server = env.server_cpu
     sims = {"client": client.dcache, "server": server.l1}
@@ -793,6 +792,72 @@ def plan_workload_batched(
     batch.run()
     for stream in all_streams:
         stream.finish(batch)
+    return batch, per_config, sims
+
+
+def _writeback_sims(
+    batch: BatchedLRU,
+    per_config: List[Dict[str, Tuple[_Stream, int]]],
+    sims: Dict[str, object],
+    env: Environment,
+    *,
+    reset_caches: bool,
+) -> None:
+    """Leave the environment's caches exactly as the scalar loop would."""
+    if reset_caches:
+        env.reset_caches()
+        for side, (stream, _base) in per_config[-1].items():
+            sim = sims[side]
+            sim._sets = batch.final_sets(stream.handle)
+            sim.hits = stream.hits_total
+            sim.misses = stream.misses_total
+    else:
+        for side, (stream, _base) in (per_config[-1] if per_config else {}).items():
+            sim = sims[side]
+            sim._sets = batch.final_sets(stream.handle)
+            sim.hits += stream.hits_total
+            sim.misses += stream.misses_total
+
+
+def plan_workload_batched(
+    env: Environment,
+    queries: Sequence[Query],
+    configs: Sequence[SchemeConfig],
+    *,
+    reset_caches: bool = True,
+    phase_cache: Optional[PhaseDataCache] = None,
+) -> List[List[QueryPlan]]:
+    """Plan every query under every scheme configuration at once.
+
+    Equivalent, plan for plan and bit for bit, to::
+
+        for config in configs:
+            env.reset_caches()          # reset_caches=True (the grid loop)
+            [plan_query(q, config, env) for q in queries]
+
+    including the caches' final state.  With ``reset_caches=False`` the
+    replay instead continues from the caches' current contents, chaining
+    all configurations on one warm timeline (no cross-config stream
+    sharing is possible then).  Returns one plan list per configuration,
+    aligned with ``configs``.
+    """
+    queries = list(queries)
+    configs = list(configs)
+    # Scalar planning validates config-major, query-minor; keep the first
+    # error identical (but raise before doing any work).
+    for config in configs:
+        for q in queries:
+            config.validate_for(q)
+    if not configs:
+        return []
+    costs = env.dataset.costs
+    phases = compute_query_phases(env, queries, phase_cache)
+
+    client = env.client_cpu
+    server = env.server_cpu
+    batch, per_config, sims = _replay_workload(
+        env, phases, configs, costs, reset_caches=reset_caches
+    )
 
     plans_all: List[List[QueryPlan]] = []
     for ci, config in enumerate(configs):
@@ -815,20 +880,7 @@ def plan_workload_batched(
             plans.append(_assemble_plan(queries[qi], config, qp, costs, slot_costs))
         plans_all.append(plans)
 
-    # Leave the environment's caches exactly as the scalar loop would.
-    if reset_caches:
-        env.reset_caches()
-        for side, (stream, _base) in per_config[-1].items():
-            sim = sims[side]
-            sim._sets = batch.final_sets(stream.handle)
-            sim.hits = stream.hits_total
-            sim.misses = stream.misses_total
-    else:
-        for side, (stream, _base) in (per_config[-1] if per_config else {}).items():
-            sim = sims[side]
-            sim._sets = batch.final_sets(stream.handle)
-            sim.hits += stream.hits_total
-            sim.misses += stream.misses_total
+    _writeback_sims(batch, per_config, sims, env, reset_caches=reset_caches)
     return plans_all
 
 

@@ -70,6 +70,7 @@ from repro.sim.radio import RadioModel
 
 __all__ = [
     "CompiledPlan",
+    "PlanAggregates",
     "compile_plan",
     "framing_key",
     "GridResult",
@@ -449,6 +450,163 @@ class GridResult:
         )
 
 
+@dataclass(frozen=True)
+class PlanAggregates:
+    """:class:`CompiledPlan` fields as (N,) columns for one wire framing.
+
+    The columnar planner (:mod:`repro.core.colplan`) produces these arrays
+    directly from trace columns — without per-query plan objects — and both
+    engines price them through :func:`_price_framing_into`, so the two
+    paths are arithmetically identical by construction.
+    """
+
+    proc_cycles: np.ndarray
+    proc_energy_j: np.ndarray
+    quiet_s: np.ndarray
+    idle_wait_s: np.ndarray
+    sleep_wait_s: np.ndarray
+    tx_bits: np.ndarray
+    rx_bits: np.ndarray
+    tx_frames: np.ndarray
+    rx_frames: np.ndarray
+    #: (N, 2) SLEEP-exit counts, column 0 = nic_sleep, column 1 = no-sleep.
+    exits2: np.ndarray
+    #: (N, 2) exits charged inside ``transmit()``, same column layout.
+    txwake2: np.ndarray
+
+    @classmethod
+    def from_compiled(cls, compiled: Sequence[CompiledPlan]) -> "PlanAggregates":
+        a = lambda attr: np.asarray(  # noqa: E731
+            [getattr(c, attr) for c in compiled], dtype=np.float64
+        )
+        return cls(
+            proc_cycles=a("proc_cycles"),
+            proc_energy_j=a("proc_energy_j"),
+            quiet_s=a("quiet_s"),
+            idle_wait_s=a("idle_wait_s"),
+            sleep_wait_s=a("sleep_wait_s"),
+            tx_bits=a("tx_bits"),
+            rx_bits=a("rx_bits"),
+            tx_frames=a("tx_frames"),
+            rx_frames=a("rx_frames"),
+            exits2=np.asarray(
+                [[c.n_exits_sleep, c.n_exits_nosleep] for c in compiled],
+                dtype=np.float64,
+            ),
+            txwake2=np.asarray(
+                [[c.n_tx_wake_sleep, c.n_tx_wake_nosleep] for c in compiled],
+                dtype=np.float64,
+            ),
+        )
+
+
+def _empty_grid(plans, policies, compiled, n: int, m: int) -> GridResult:
+    """A zero-filled GridResult to be populated per framing group."""
+    shape = (n, m)
+    z = lambda: np.zeros(shape, dtype=np.float64)  # noqa: E731
+    return GridResult(
+        plans=plans,
+        policies=policies,
+        compiled=compiled,
+        energy_processor=z(),
+        energy_tx=z(),
+        energy_rx=z(),
+        energy_idle=z(),
+        energy_sleep=z(),
+        cycles_processor=z(),
+        cycles_tx=z(),
+        cycles_rx=z(),
+        cycles_wait=z(),
+        wall_s=z(),
+        dwell_tx_s=z(),
+        dwell_rx_s=z(),
+        dwell_idle_s=z(),
+        dwell_sleep_s=z(),
+        sleep_exits=np.zeros(shape, dtype=np.int64),
+        retx_tx_frames=z(),
+        retx_rx_frames=z(),
+        backoff_s=z(),
+    )
+
+
+def _price_framing_into(
+    grid: GridResult,
+    agg: PlanAggregates,
+    cols: _PolicyColumns,
+    cols_j: Sequence[int],
+    clock: float,
+    retx_unit,
+) -> None:
+    """Fill ``grid``'s columns ``cols_j`` from one framing's aggregates.
+
+    This is the whole policy broadcast: every statement below is an exact
+    algebraic regrouping of ``price_plan``'s scalar walk (see module
+    docstring), so any producer of :class:`PlanAggregates` — compiled plan
+    objects or the columnar planner's trace arrays — prices identically.
+    """
+    j = np.asarray(cols_j, dtype=np.intp)
+    bw = cols.bandwidth_bps[j]
+    lat = cols.exit_latency_s[j]
+    var = cols.variant[j]  # 0 = nic_sleep, 1 = nic idles
+
+    proc_cycles = agg.proc_cycles
+    proc_energy = agg.proc_energy_j
+    quiet = agg.quiet_s
+    idle_wait = agg.idle_wait_s
+    sleep_wait = agg.sleep_wait_s
+    txb = agg.tx_bits
+    rxb = agg.rx_bits
+    wait_s = idle_wait + sleep_wait
+    exits = agg.exits2[:, var]  # (N, Mf)
+    txwake = agg.txwake2[:, var]
+
+    # Lossy-link expectations: retransmitted bits ride the transfer's
+    # power state, backoff idles the radio, reprocessing charges the
+    # CPU — the exact algebraic regrouping of ``price_plan``'s
+    # ``lossy_tail`` (all terms are identically zero at loss_rate=0,
+    # preserving ideal-channel results bit for bit).
+    r = cols.retx_per_frame[j][None, :]
+    bo = cols.backoff_per_frame_s[j][None, :]
+    txf = agg.tx_frames
+    rxf = agg.rx_frames
+    retx_tx_s = txb[:, None] * r / bw[None, :]
+    retx_rx_s = rxb[:, None] * r / bw[None, :]
+    backoff_s = (txf + rxf)[:, None] * bo
+    retx_frames = (txf + rxf)[:, None] * r
+
+    tx_s = txb[:, None] / bw[None, :] + retx_tx_s
+    rx_s = rxb[:, None] / bw[None, :] + retx_rx_s
+    tx_elapsed = tx_s + txwake * lat[None, :]
+    quiet_idle = quiet[:, None] * (var == 1)[None, :]
+    quiet_sleep = quiet[:, None] * (var == 0)[None, :]
+    idle_s = idle_wait[:, None] + quiet_idle + exits * lat[None, :] + backoff_s
+    sleep_s = sleep_wait[:, None] + quiet_sleep
+    blocked_s = wait_s[:, None] + tx_elapsed + rx_s + backoff_s
+
+    grid.energy_processor[:, j] = (
+        proc_energy[:, None]
+        + cols.blocked_power_w[j][None, :] * blocked_s
+        + retx_frames * retx_unit.energy_j
+    )
+    grid.energy_tx[:, j] = cols.tx_power_w[j][None, :] * tx_s
+    grid.energy_rx[:, j] = cols.receive_w[j][None, :] * rx_s
+    grid.energy_idle[:, j] = cols.idle_w[j][None, :] * idle_s
+    grid.energy_sleep[:, j] = cols.sleep_w[j][None, :] * sleep_s
+    grid.cycles_processor[:, j] = proc_cycles[:, None] + retx_frames * retx_unit.cycles
+    grid.cycles_tx[:, j] = tx_elapsed * clock
+    grid.cycles_rx[:, j] = rx_s * clock
+    grid.cycles_wait[:, j] = (wait_s[:, None] + backoff_s) * clock
+    grid.wall_s[:, j] = tx_s + rx_s + idle_s + sleep_s
+    grid.dwell_tx_s[:, j] = tx_s
+    grid.dwell_rx_s[:, j] = rx_s
+    grid.dwell_idle_s[:, j] = idle_s
+    grid.dwell_sleep_s[:, j] = sleep_s
+    grid.sleep_exits[:, j] = exits.astype(np.int64)
+    grid.retx_tx_frames[:, j] = txf[:, None] * r
+    grid.retx_rx_frames[:, j] = rxf[:, None] * r
+    grid.backoff_s[:, j] = backoff_s
+
+
 def _compile_for(
     plans: Sequence[QueryPlan],
     env: Environment,
@@ -505,15 +663,8 @@ def price_grid(
     for j, p in enumerate(policies):
         by_framing.setdefault(framing_key(p.network), []).append(j)
 
-    shape = (n, m)
-    z = lambda: np.zeros(shape, dtype=np.float64)  # noqa: E731
-    e_proc, e_tx, e_rx, e_idle, e_sleep = z(), z(), z(), z(), z()
-    c_proc, c_tx, c_rx, c_wait = z(), z(), z(), z()
-    wall = z()
-    d_tx, d_rx, d_idle, d_sleep = z(), z(), z(), z()
-    exits_out = np.zeros(shape, dtype=np.int64)
-    retx_tx_out, retx_rx_out, backoff_out = z(), z(), z()
     compiled_ref: List[CompiledPlan] = [None] * n  # type: ignore[list-item]
+    grid = _empty_grid(plans, policies, compiled_ref, n, m)
 
     # Per-frame retransmission protocol unit cost (cycles/joules for one
     # reprocessed frame); linear in the frame count, like the scalar walk's
@@ -525,105 +676,10 @@ def price_grid(
         compiled = _compile_for(plans, env, net, compile_cache)
         for i, c in enumerate(compiled):
             compiled_ref[i] = c
+        agg = PlanAggregates.from_compiled(compiled)
+        _price_framing_into(grid, agg, cols, cols_j, clock, retx_unit)
 
-        j = np.asarray(cols_j, dtype=np.intp)
-        bw = cols.bandwidth_bps[j]
-        lat = cols.exit_latency_s[j]
-        var = cols.variant[j]  # 0 = nic_sleep, 1 = nic idles
-
-        # (N,) statics.
-        a = lambda attr: np.asarray(  # noqa: E731
-            [getattr(c, attr) for c in compiled], dtype=np.float64
-        )
-        proc_cycles = a("proc_cycles")
-        proc_energy = a("proc_energy_j")
-        quiet = a("quiet_s")
-        idle_wait = a("idle_wait_s")
-        sleep_wait = a("sleep_wait_s")
-        txb = a("tx_bits")
-        rxb = a("rx_bits")
-        wait_s = idle_wait + sleep_wait
-        # (N, 2) variant counters, indexed by each policy's discipline.
-        exits2 = np.asarray(
-            [[c.n_exits_sleep, c.n_exits_nosleep] for c in compiled],
-            dtype=np.float64,
-        )
-        txwake2 = np.asarray(
-            [[c.n_tx_wake_sleep, c.n_tx_wake_nosleep] for c in compiled],
-            dtype=np.float64,
-        )
-        exits = exits2[:, var]  # (N, Mf)
-        txwake = txwake2[:, var]
-
-        # Lossy-link expectations: retransmitted bits ride the transfer's
-        # power state, backoff idles the radio, reprocessing charges the
-        # CPU — the exact algebraic regrouping of ``price_plan``'s
-        # ``lossy_tail`` (all terms are identically zero at loss_rate=0,
-        # preserving ideal-channel results bit for bit).
-        r = cols.retx_per_frame[j][None, :]
-        bo = cols.backoff_per_frame_s[j][None, :]
-        txf = a("tx_frames")
-        rxf = a("rx_frames")
-        retx_tx_s = txb[:, None] * r / bw[None, :]
-        retx_rx_s = rxb[:, None] * r / bw[None, :]
-        backoff_s = (txf + rxf)[:, None] * bo
-        retx_frames = (txf + rxf)[:, None] * r
-
-        tx_s = txb[:, None] / bw[None, :] + retx_tx_s
-        rx_s = rxb[:, None] / bw[None, :] + retx_rx_s
-        tx_elapsed = tx_s + txwake * lat[None, :]
-        quiet_idle = quiet[:, None] * (var == 1)[None, :]
-        quiet_sleep = quiet[:, None] * (var == 0)[None, :]
-        idle_s = idle_wait[:, None] + quiet_idle + exits * lat[None, :] + backoff_s
-        sleep_s = sleep_wait[:, None] + quiet_sleep
-        blocked_s = wait_s[:, None] + tx_elapsed + rx_s + backoff_s
-
-        e_proc[:, j] = (
-            proc_energy[:, None]
-            + cols.blocked_power_w[j][None, :] * blocked_s
-            + retx_frames * retx_unit.energy_j
-        )
-        e_tx[:, j] = cols.tx_power_w[j][None, :] * tx_s
-        e_rx[:, j] = cols.receive_w[j][None, :] * rx_s
-        e_idle[:, j] = cols.idle_w[j][None, :] * idle_s
-        e_sleep[:, j] = cols.sleep_w[j][None, :] * sleep_s
-        c_proc[:, j] = proc_cycles[:, None] + retx_frames * retx_unit.cycles
-        c_tx[:, j] = tx_elapsed * clock
-        c_rx[:, j] = rx_s * clock
-        c_wait[:, j] = (wait_s[:, None] + backoff_s) * clock
-        wall[:, j] = tx_s + rx_s + idle_s + sleep_s
-        d_tx[:, j] = tx_s
-        d_rx[:, j] = rx_s
-        d_idle[:, j] = idle_s
-        d_sleep[:, j] = sleep_s
-        exits_out[:, j] = exits.astype(np.int64)
-        retx_tx_out[:, j] = txf[:, None] * r
-        retx_rx_out[:, j] = rxf[:, None] * r
-        backoff_out[:, j] = backoff_s
-
-    return GridResult(
-        plans=plans,
-        policies=policies,
-        compiled=compiled_ref,
-        energy_processor=e_proc,
-        energy_tx=e_tx,
-        energy_rx=e_rx,
-        energy_idle=e_idle,
-        energy_sleep=e_sleep,
-        cycles_processor=c_proc,
-        cycles_tx=c_tx,
-        cycles_rx=c_rx,
-        cycles_wait=c_wait,
-        wall_s=wall,
-        dwell_tx_s=d_tx,
-        dwell_rx_s=d_rx,
-        dwell_idle_s=d_idle,
-        dwell_sleep_s=d_sleep,
-        sleep_exits=exits_out,
-        retx_tx_frames=retx_tx_out,
-        retx_rx_frames=retx_rx_out,
-        backoff_s=backoff_out,
-    )
+    return grid
 
 
 def price_workload_grid(

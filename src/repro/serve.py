@@ -77,9 +77,12 @@ __all__ = [
 ]
 
 #: Service planners: ``"batched"`` coalesces each micro-batch through the
-#: batched planner/pricer (the point of the service); ``"serial"`` is the
-#: per-query scalar reference the differential suite compares against.
-SERVE_PLANNERS = ("batched", "serial")
+#: batched planner/pricer (the point of the service); ``"columnar"`` runs
+#: the same replay but compiles and prices each micro-batch straight from
+#: the slot costs (:mod:`repro.core.colplan`) without materializing plan
+#: objects; ``"serial"`` is the per-query scalar reference the
+#: differential suite compares against.
+SERVE_PLANNERS = ("batched", "columnar", "serial")
 
 #: Admission verdicts a request can receive.
 VERDICTS = ("served", "rejected-queue", "rejected-battery")
@@ -320,9 +323,10 @@ class QueryService:
         or the server's free time if later), admits every arrival up to it
         against the queue bound and each client's battery budget, then
         serves up to ``max_batch`` queued queries as one micro-batch.
-        ``planner`` selects the coalesced batched path or the per-query
-        serial reference (:data:`SERVE_PLANNERS`); both yield identical
-        plans and cache states, and energies equal to the pricers'
+        ``planner`` selects the coalesced batched path, the fused
+        columnar path (same replay, no plan objects), or the per-query
+        serial reference (:data:`SERVE_PLANNERS`); all yield identical
+        answers and cache states, and energies equal to the pricers'
         agreement tolerance.
         """
         if planner not in SERVE_PLANNERS:
@@ -385,26 +389,37 @@ class QueryService:
                 continue
             n_batches += 1
             batch_reqs = [reqs[k] for k in batch]
-            if planner == "batched":
-                plans = self._plan_batch(batch_reqs, states, server_sim)
-                results = self._price_batch(batch_reqs, plans, states)
+            if planner == "columnar":
+                served = self._serve_columnar(batch_reqs, states, server_sim)
             else:
-                plans, results = self._serve_serial(batch_reqs, states, server_sim)
+                if planner == "batched":
+                    plans = self._plan_batch(batch_reqs, states, server_sim)
+                    results = self._price_batch(batch_reqs, plans, states)
+                else:
+                    plans, results = self._serve_serial(
+                        batch_reqs, states, server_sim
+                    )
+                served = [
+                    (
+                        sum(
+                            s.cycles
+                            for s in plan.steps
+                            if isinstance(s, ServerComputeStep)
+                        ),
+                        tuple(int(a) for a in plan.answer_ids),
+                        plan.n_results,
+                        result,
+                    )
+                    for plan, result in zip(plans, results)
+                ]
             # Contention: server-side compute serializes within the batch.
             clock = env.server_cpu.clock_hz
             cursor = 0.0
             for k, idx in enumerate(batch):
                 r = reqs[idx]
                 st = states[r.client_id]
-                plan, result = plans[k], results[k]
-                server_s = (
-                    sum(
-                        s.cycles
-                        for s in plan.steps
-                        if isinstance(s, ServerComputeStep)
-                    )
-                    / clock
-                )
+                server_cycles, answer_ids, n_results, result = served[k]
+                server_s = server_cycles / clock
                 delay = (t_start - r.arrival_s) + cursor
                 cursor += server_s
                 contention_j = delay * _blocked_power_w(st.profile.policy, env)
@@ -423,8 +438,8 @@ class QueryService:
                     latency_s=delay + result.wall_seconds,
                     energy_j=energy_j,
                     contention_j=contention_j,
-                    answer_ids=tuple(int(a) for a in plan.answer_ids),
-                    n_results=plan.n_results,
+                    answer_ids=answer_ids,
+                    n_results=n_results,
                     result=result,
                 )
             t_free = t_start + cursor
@@ -456,13 +471,13 @@ class QueryService:
         return report
 
     # ------------------------------------------------------------------
-    def _plan_batch(
+    def _replay_batch(
         self,
         batch_reqs: List[QueryRequest],
         states: Dict[int, _ClientState],
         server_sim: CacheSim,
-    ) -> List[QueryPlan]:
-        """Plan one micro-batch through the batched machinery.
+    ):
+        """Traverse and replay one micro-batch; no plan objects yet.
 
         One phase computation covers every distinct query in the batch
         (cross-client dedup through the engine's phase cache); one
@@ -470,7 +485,10 @@ class QueryService:
         D-cache stream plus the single shared server-L1 stream together,
         each warm-seeded from its saved state so every timeline continues
         exactly where the last batch left it.  The environment's own caches
-        are never touched.
+        are never touched; the per-client sims and ``server_sim`` are
+        advanced in place.  Returns ``(phases, slots, slot_costs)`` with
+        one entry per request — the shared front half of both the batched
+        (plan-object) and columnar service paths.
         """
         engine = self.engine
         env = engine.env
@@ -526,43 +544,35 @@ class QueryService:
             stream.finish(lru)
         if server_stream is not None:
             server_stream.finish(lru)
-        plans: List[QueryPlan] = []
+        slot_costs: List[list] = []
         client_seq = {cid: 0 for cid in per_client}
         server_seq = 0
         for k, r in enumerate(batch_reqs):
             cid = r.client_id
-            slot_costs = []
+            query_costs = []
             for side, trace in slots[k]:
                 if side == "client":
                     stream = client_streams.get(cid)
                     if stream is not None:
                         h, m = stream.phase_hm(client_seq[cid])
-                        slot_costs.append(
+                        query_costs.append(
                             client_cpu.compute_replayed(trace.counter, h, m)
                         )
                     else:
                         # No cache simulation: the scalar path's fallback
                         # estimate uses only the counts.
-                        slot_costs.append(client_cpu.compute(trace.counter))
+                        query_costs.append(client_cpu.compute(trace.counter))
                     client_seq[cid] += 1
                 else:
                     if server_stream is not None:
                         h, m = server_stream.phase_hm(server_seq)
-                        slot_costs.append(
+                        query_costs.append(
                             server_cpu.compute_replayed(trace.counter, h, m)
                         )
                     else:
-                        slot_costs.append(server_cpu.compute(trace.counter))
+                        query_costs.append(server_cpu.compute(trace.counter))
                     server_seq += 1
-            plans.append(
-                _assemble_plan(
-                    r.query,
-                    states[cid].profile.scheme,
-                    phases[k],
-                    costs,
-                    slot_costs,
-                )
-            )
+            slot_costs.append(query_costs)
         for cid, stream in client_streams.items():
             sim = states[cid].sim
             sim._sets = lru.final_sets(stream.handle)
@@ -572,7 +582,91 @@ class QueryService:
             server_sim._sets = lru.final_sets(server_stream.handle)
             server_sim.hits += server_stream.hits_total
             server_sim.misses += server_stream.misses_total
-        return plans
+        return phases, slots, slot_costs
+
+    def _plan_batch(
+        self,
+        batch_reqs: List[QueryRequest],
+        states: Dict[int, _ClientState],
+        server_sim: CacheSim,
+    ) -> List[QueryPlan]:
+        """Plan one micro-batch through the batched machinery."""
+        phases, slots, slot_costs = self._replay_batch(
+            batch_reqs, states, server_sim
+        )
+        costs = self.engine.env.dataset.costs
+        return [
+            _assemble_plan(
+                r.query,
+                states[r.client_id].profile.scheme,
+                phases[k],
+                costs,
+                slot_costs[k],
+            )
+            for k, r in enumerate(batch_reqs)
+        ]
+
+    def _serve_columnar(
+        self,
+        batch_reqs: List[QueryRequest],
+        states: Dict[int, _ClientState],
+        server_sim: CacheSim,
+    ) -> List[Tuple[float, Tuple[int, ...], int, RunResult]]:
+        """Serve one micro-batch through the fused columnar compile/price.
+
+        Same replay as :meth:`_plan_batch`, but each query compiles
+        straight from its slot costs (:func:`~repro.core.colplan.compile_slots`)
+        and the batch prices per policy group through
+        :func:`~repro.core.colplan.price_compiled` — no
+        :class:`~repro.core.executor.QueryPlan` objects exist.  Returns one
+        ``(server_cycles, answer_ids, n_results, result)`` tuple per
+        request, bit-identical to the batched path's.
+        """
+        from repro.core.colplan import compile_slots, price_compiled
+
+        phases, slots, slot_costs = self._replay_batch(
+            batch_reqs, states, server_sim
+        )
+        env = self.engine.env
+        compiled = []
+        server_cycles = []
+        for k, r in enumerate(batch_reqs):
+            prof = states[r.client_id].profile
+            compiled.append(
+                compile_slots(
+                    phases[k],
+                    prof.scheme,
+                    slot_costs[k],
+                    env,
+                    prof.policy.network,
+                )
+            )
+            server_cycles.append(
+                sum(
+                    cost.cycles
+                    for (side, _), cost in zip(slots[k], slot_costs[k])
+                    if side == "server"
+                )
+            )
+        groups: Dict[object, List[int]] = {}
+        for k, r in enumerate(batch_reqs):
+            groups.setdefault(states[r.client_id].profile.policy, []).append(k)
+        results: List[Optional[RunResult]] = [None] * len(batch_reqs)
+        for policy, idxs in groups.items():
+            grid = price_compiled(
+                [compiled[k] for k in idxs], [policy], env, policy.network
+            )
+            for row, k in enumerate(idxs):
+                results[k] = grid.result(row, 0)
+        return [
+            (
+                server_cycles[k],
+                tuple(int(a) for a in compiled[k].answer_ids),
+                compiled[k].n_results,
+                results[k],
+            )
+            for k in range(len(batch_reqs))
+        ]
 
     def _price_batch(
         self,

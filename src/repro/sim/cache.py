@@ -111,6 +111,104 @@ class CacheSim:
         return self.misses / total if total else 0.0
 
 
+#: Reusable scratch buffers keyed by (site name, dtype): the replay's large
+#: intermediates are allocated once and re-sliced on subsequent runs, so
+#: steady-state replays skip the first-touch page faulting that dominates
+#: fresh multi-megabyte allocations.  Single-threaded by design, like the
+#: simulators themselves.
+_scratch: dict = {}
+
+
+def _buf(name: str, shape, dtype=np.int64) -> np.ndarray:
+    """An uninitialized scratch array of ``shape``, reused across calls."""
+    size = int(np.prod(shape))
+    key = (name, np.dtype(dtype))
+    buf = _scratch.get(key)
+    if buf is None or buf.size < size:
+        buf = np.empty(size, dtype=dtype)
+        _scratch[key] = buf
+    return buf[:size].reshape(shape)
+
+
+class _BlockRMQ:
+    """O(1) vectorized range-minimum queries over a fixed int64 array.
+
+    Classic block decomposition: per-block prefix/suffix minima answer a
+    query's two partial blocks, a sparse table over whole-block minima
+    answers the middle, and six small power-of-two window levels answer
+    queries confined to one block.  Build cost is ~8 linear passes however
+    long the longest query window is; the plain sparse table the replay
+    used before paid one full pass per doubling of the window.
+    """
+
+    _B = 32  # block width; in-block levels cover windows up to this
+
+    def __init__(self, values: np.ndarray) -> None:
+        B = self._B
+        m = values.size
+        nb = (m + B - 1) // B
+        mp = nb * B
+        big = np.int64(np.iinfo(np.int64).max)
+        levels = B.bit_length()  # windows 1..B need levels 0..levels-1
+        S = _buf("rmq_small", (levels, mp))
+        S[0, :m] = values
+        S[0, m:] = big
+        for k in range(1, levels):
+            half = 1 << (k - 1)
+            nk = mp - (1 << k) + 1
+            np.minimum(S[k - 1, :nk], S[k - 1, half : half + nk], out=S[k, :nk])
+        self._S = S
+        blocks = S[0].reshape(nb, B)
+        pre = _buf("rmq_pre", (nb, B))
+        np.minimum.accumulate(blocks, axis=1, out=pre)
+        suf = _buf("rmq_suf", (nb, B))
+        np.minimum.accumulate(blocks[:, ::-1], axis=1, out=suf[:, ::-1])
+        self._pre = pre.reshape(-1)
+        self._suf = suf.reshape(-1)
+        blevels = max(1, nb.bit_length())
+        BT = _buf("rmq_blocks", (blevels, nb))
+        BT[0] = pre[:, B - 1]
+        for k in range(1, blevels):
+            half = 1 << (k - 1)
+            nk = nb - (1 << k) + 1
+            if nk <= 0:
+                break
+            np.minimum(
+                BT[k - 1, :nk], BT[k - 1, half : half + nk], out=BT[k, :nk]
+            )
+        self._BT = BT
+
+    @staticmethod
+    def _pow2(table: np.ndarray, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+        """Two overlapping power-of-two windows out of a 2D level table."""
+        ln = hi - lo + 1
+        k = np.frexp(ln.astype(np.float64))[1] - 1  # floor(log2(ln))
+        w = np.left_shift(np.int64(1), k)
+        return np.minimum(table[k, lo], table[k, hi - w + 1])
+
+    def __call__(self, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+        """Minimum over each inclusive ``[lo, hi]`` (element-wise, len >= 1)."""
+        sh = self._B.bit_length() - 1
+        res = np.empty(lo.size, dtype=np.int64)
+        sameb = (lo >> sh) == (hi >> sh)
+        if sameb.any():
+            res[sameb] = self._pow2(self._S, lo[sameb], hi[sameb])
+        crossb = ~sameb
+        if crossb.any():
+            left = lo[crossb]
+            right = hi[crossb]
+            r = np.minimum(self._suf[left], self._pre[right])
+            b0 = (left >> sh) + 1
+            b1 = (right >> sh) - 1
+            mid = b0 <= b1
+            if mid.any():
+                r[mid] = np.minimum(
+                    r[mid], self._pow2(self._BT, b0[mid], b1[mid])
+                )
+            res[crossb] = r
+        return res
+
+
 class BatchedLRU:
     """Exact vectorized replay of many independent LRU traces at once.
 
@@ -169,7 +267,16 @@ class BatchedLRU:
             raise ValueError("cache geometry parameters must be positive")
         if seed_sets is not None and len(seed_sets) != n_sets:
             raise ValueError(f"seed_sets must have {n_sets} entries")
-        lines = np.asarray(lines, dtype=np.int64)
+        lines = np.asarray(lines)
+        if lines.dtype != np.int32:
+            lines = lines.astype(np.int64, copy=False)
+            if lines.size and 0 <= int(lines.min()) and (
+                int(lines.max()) <= np.iinfo(np.int32).max
+            ):
+                # Narrow early: every downstream derived array (set index,
+                # tag, sort keys) inherits the width, halving memory traffic
+                # on the replay hot path.
+                lines = lines.astype(np.int32)
         self._streams.append(
             {
                 "lines": lines,
@@ -210,199 +317,227 @@ class BatchedLRU:
         hence ``pv(j) <= j-2 = pv(i)``.  Hence for assoc 2 the verdict
         is simply ``i - pv(i) <= 2``, and for assoc 3/4 only the count of
         small-``pv`` entries in ``[pv(i)+3, i-1]`` remains — answered with a
-        range-minimum (assoc 3) or range-second-minimum (assoc 4) sparse
-        table over ``pv``, all NumPy.  Warm-start seeds are replayed as
-        synthetic prefix accesses (LRU to MRU order recreates the state);
-        their verdicts are discarded.  Verified access-for-access against
-        :class:`CacheSim` by the unit suite.
+        block-decomposed range-minimum (assoc 3) or range-second-minimum
+        (assoc 4) structure over ``pv``, all NumPy.  Warm-start seeds are
+        replayed as synthetic prefix accesses (LRU to MRU order recreates
+        the state); their verdicts are discarded.  Verified
+        access-for-access against :class:`CacheSim` by the unit suite.
+
+        Streams are partitioned by associativity regime (assoc <= 2 vs
+        assoc 3/4) and each class replays in its own contiguous
+        sub-universe: sets never cross streams, so the split is exact, and
+        it removes the per-access regime gathers a mixed universe would
+        need while keeping every class on its narrow-dtype fast path.
         """
         max_assoc = max(s["assoc"] for s in self._streams)
         W = np.full((self._n_vsets, max_assoc), -1, dtype=np.int64)
         self._W = W
-        assoc_row = np.empty(self._n_vsets, dtype=np.int64)
+        pos = 0
+        for s in self._streams:
+            s["slice"] = slice(pos, pos + s["lines"].size)
+            pos += s["lines"].size
+        hits = np.zeros(pos, dtype=bool)
+        self._hits = hits
+        lo = [s for s in self._streams if s["assoc"] <= 2]
+        hi = [s for s in self._streams if s["assoc"] >= 3]
+        for group in (lo, hi):
+            if group:
+                self._closed_form_class(group, W, hits)
+
+    @staticmethod
+    def _argsort_key(key: np.ndarray, kmax: int) -> np.ndarray:
+        """Stable argsort of a non-negative integer key, radix when it fits.
+
+        NumPy's stable sort only takes the radix path for <= 16-bit dtypes;
+        wider keys sort by LSD passes over 16-bit digits (stable sorts
+        compose), several times faster than the int64 merge sort here.
+        """
+        if kmax < (1 << 16):
+            return np.argsort(key.astype(np.uint16), kind="stable")
+        if kmax < (1 << 32):
+            o1 = np.argsort((key & 0xFFFF).astype(np.uint16), kind="stable")
+            o2 = np.argsort(
+                (key >> 16).astype(np.uint16)[o1], kind="stable"
+            )
+            return o1[o2]
+        return np.argsort(key, kind="stable")
+
+    def _closed_form_class(
+        self, streams: List[dict], W: np.ndarray, hits: np.ndarray
+    ) -> None:
+        """Replay one associativity class (see :meth:`_run_closed_form`)."""
+        nv = sum(s["n_sets"] for s in streams)
+        row_map = np.empty(nv, dtype=np.int64)  # class row -> global W row
+        assoc_row = np.empty(nv, dtype=np.int64)
         syn_vset_parts = []
         syn_tag_parts = []
         vset_parts = []
         tag_parts = []
+        out_slices = []  # (class-local real range, global hits slice)
+        off = 0
         pos = 0
-        for s in self._streams:
-            rows = slice(s["offset"], s["offset"] + s["n_sets"])
-            assoc_row[rows] = s["assoc"]
+        for s in streams:
+            ns = s["n_sets"]
+            row_map[off : off + ns] = np.arange(
+                s["offset"], s["offset"] + ns, dtype=np.int64
+            )
+            assoc_row[off : off + ns] = s["assoc"]
             if s["seed"] is not None:
                 lens = np.fromiter(
                     (len(ways) for ways in s["seed"]),
                     dtype=np.int64,
-                    count=s["n_sets"],
+                    count=ns,
                 )
                 if lens.max(initial=0) > s["assoc"]:
                     raise ValueError("seed set exceeds associativity")
                 if lens.any():
                     syn_vset_parts.append(
                         np.repeat(
-                            np.arange(
-                                s["offset"],
-                                s["offset"] + s["n_sets"],
-                                dtype=np.int64,
-                            ),
-                            lens,
+                            np.arange(off, off + ns, dtype=np.int32), lens
                         )
                     )
-                    syn_tag_parts.append(
-                        np.fromiter(
-                            (t for ways in s["seed"] for t in ways),
-                            dtype=np.int64,
-                            count=int(lens.sum()),
-                        )
+                    stags = np.fromiter(
+                        (t for ways in s["seed"] for t in ways),
+                        dtype=np.int64,
+                        count=int(lens.sum()),
                     )
+                    if 0 <= int(stags.min()) and (
+                        int(stags.max()) <= np.iinfo(np.int32).max
+                    ):
+                        stags = stags.astype(np.int32)
+                    syn_tag_parts.append(stags)
             lines = s["lines"]
-            s["slice"] = slice(pos, pos + lines.size)
+            if ns & (ns - 1) == 0:
+                # Power-of-two set count: mask/shift instead of div/mod.
+                vset_parts.append(
+                    (off + (lines & (ns - 1))).astype(np.int32, copy=False)
+                )
+                tag_parts.append(lines >> (ns.bit_length() - 1))
+            else:
+                vset_parts.append(
+                    (off + lines % ns).astype(np.int32, copy=False)
+                )
+                tag_parts.append(lines // ns)
+            out_slices.append((pos, pos + lines.size, s["slice"]))
             pos += lines.size
-            vset_parts.append(s["offset"] + lines % s["n_sets"])
-            tag_parts.append(lines // s["n_sets"])
+            off += ns
         n_real = pos
-        hits = np.zeros(n_real, dtype=bool)
-        self._hits = hits
         n_syn = sum(p.size for p in syn_vset_parts)
-        vset = np.concatenate(syn_vset_parts + vset_parts) if n_syn else (
-            np.concatenate(vset_parts)
-        )
-        tag = np.concatenate(syn_tag_parts + tag_parts) if n_syn else (
-            np.concatenate(tag_parts)
-        )
-        n = vset.size
+        all_parts_v = syn_vset_parts + vset_parts
+        all_parts_t = syn_tag_parts + tag_parts
+        n = n_syn + n_real
         if n == 0:
             return
+        vset = _buf("cf_vset", n, np.int32)
+        np.concatenate(all_parts_v, out=vset)
+        tdt = np.result_type(*[p.dtype for p in all_parts_t])
+        tag = _buf("cf_tag", n, tdt)
+        np.concatenate(all_parts_t, out=tag)
+        chits = _buf("cf_chits", n_real, bool)
+        chits[:] = False
 
         # Stable sort by set: synthetic seed accesses were concatenated ahead
         # of every real trace, so per set they sort first, in LRU->MRU order.
-        # Narrow dtypes get NumPy's radix path, several times faster than the
-        # int64 merge sort at these sizes.
-        if self._n_vsets <= np.iinfo(np.int16).max:
-            order = np.argsort(vset.astype(np.int16), kind="stable")
-        else:
-            order = np.argsort(vset, kind="stable")
-        sv = vset[order]
-        st = tag[order]
-        new_set = np.empty(n, dtype=bool)
+        order = self._argsort_key(vset, nv - 1)
+        sv = np.take(vset, order, out=_buf("cf_sv", n, np.int32))
+        st = np.take(tag, order, out=_buf("cf_st", n, tdt))
+        new_set = _buf("cf_newset", n, bool)
         new_set[0] = True
         np.not_equal(sv[1:], sv[:-1], out=new_set[1:])
         # Collapse immediate same-tag repeats: guaranteed hits, no state change.
-        dup = np.zeros(n, dtype=bool)
-        dup[1:] = ~new_set[1:] & (st[1:] == st[:-1])
+        dup = _buf("cf_dup", n, bool)
+        dup[0] = False
+        np.equal(st[1:], st[:-1], out=dup[1:])
+        dup[1:] &= ~new_set[1:]
         dup_sel = order[dup]
-        hits[dup_sel[dup_sel >= n_syn] - n_syn] = True
+        if n_syn:
+            chits[dup_sel[dup_sel >= n_syn] - n_syn] = True
+        else:
+            chits[dup_sel] = True
         keep = ~dup
         ko = order[keep]
         ksv = sv[keep]
         ktag = st[keep]
         m = ko.size
 
-        knew = np.empty(m, dtype=bool)
+        knew = _buf("cf_knew", m, bool)
         knew[0] = True
         np.not_equal(ksv[1:], ksv[:-1], out=knew[1:])
-        # The two associativity regimes get separate sub-universes: assoc<=2
-        # needs only the previous-occurrence distance, assoc 3/4 also needs
-        # the range-minimum machinery.  Windows never leave their set, a
-        # set's entries are contiguous in set-major order, and a sub-universe
-        # selects whole sets - so renumbering into either sub-universe is
-        # monotone and same-set distances are preserved.
-        hit_c = np.zeros(m, dtype=bool)
-        tmax = int(ktag.max()) + 1
-        rows34 = assoc_row >= 3
-        if rows34.all():
-            i12 = np.empty(0, dtype=np.int64)
-            i34 = None  # whole universe: skip the renumbering gathers
-        elif not rows34.any():
-            i12 = None
-            i34 = np.empty(0, dtype=np.int64)
-        else:
-            acc34 = rows34[ksv]
-            i34 = np.nonzero(acc34)[0]
-            i12 = np.nonzero(~acc34)[0]
+        hit_c = _buf("cf_hitc", m, bool)
+        hit_c[:] = False
 
-        if i12 is None or i12.size:
-            tg = ktag if i12 is None else ktag[i12]
-            stt = ksv if i12 is None else ksv[i12]
-            o = np.argsort(stt * tmax + tg, kind="stable")
-            sk = (stt * tmax + tg)[o]
-            gi = o if i12 is None else i12[o]
-            same = sk[1:] == sk[:-1]
-            prev = gi[:-1][same]
-            cur = gi[1:][same]
+        if int(assoc_row[0]) <= 2:
             # Stack depth is 0 at distance 1 (collapsed away) and 1 at
-            # distance 2, so assoc 2 hits iff the set-major distance is <= 2;
-            # assoc 1 never hits here (distance >= 2 after dup collapse).
-            hit_c[cur[(cur - prev) <= assoc_row[ksv[cur]]]] = True
-
-        if (i34 is None and m > 1) or (i34 is not None and i34.size > 1):
-            M = m if i34 is None else i34.size
-            tg = ktag if i34 is None else ktag[i34]
-            stt = ksv if i34 is None else ksv[i34]
-            o = np.argsort(stt * tmax + tg, kind="stable")
-            sk = (stt * tmax + tg)[o]
+            # distance 2, so assoc 2 hits iff the set-major distance is
+            # exactly 2 — a shifted compare, no (set, tag) sort needed: sets
+            # are contiguous, so equal set at distance 2 puts all three
+            # entries in one set, and the middle entry differs from both
+            # neighbours after dup collapse.  Assoc 1 never hits here
+            # (distance >= 2 after dup collapse).
+            if m > 2:
+                two = (
+                    (ksv[2:] == ksv[:-2])
+                    & (ktag[2:] == ktag[:-2])
+                    & (assoc_row[ksv[2:]] >= 2)
+                )
+                hit_c[2:] = two
+        elif m > 1:
+            tmax = int(ktag.max()) + 1
+            kmax = nv * tmax - 1
+            if kmax <= np.iinfo(np.int32).max and ktag.dtype == np.int32:
+                key = ksv * np.int32(tmax) + ktag
+            else:
+                key = ksv.astype(np.int64) * tmax + ktag
+            o = self._argsort_key(key, kmax)
+            sk = key[o]
             same = sk[1:] == sk[:-1]
-            prev = o[:-1][same]  # sub-universe coordinates
+            prev = o[:-1][same]
             cur = o[1:][same]
             d = cur - prev
             near = d <= 3
-            ncur = cur[near]
-            hit_c[ncur if i34 is None else i34[ncur]] = True
+            hit_c[cur[near]] = True
             farq = ~near
             if farq.any():
-                # pv: previous same-(set, tag) sub-position, -1 for firsts.
-                pv = np.full(M, -1, dtype=np.int64)
-                pv[cur] = prev
-                # Encode (pv, position): a range-min also yields the argmin.
-                enc = (pv + 1) * M + np.arange(M, dtype=np.int64)
+                # enc encodes (pv, position) with pv the previous same-tag
+                # position in the set (-1 for firsts): a range-min over enc
+                # yields both the minimum pv and its argmin.
+                enc = np.arange(m, dtype=np.int64)
+                enc[cur] = (prev + 1) * m + cur
                 fp = prev[farq]
                 fq = cur[farq]
-                ql = fp + 3
-                qr = fq - 1
-                lengths = qr - ql + 1
-                levels = int(lengths.max()).bit_length()
-                table = [enc]
-                for k in range(1, levels):
-                    prevt = table[-1]
-                    half = 1 << (k - 1)
-                    table.append(np.minimum(prevt[:-half], prevt[half:]))
-
-                def rmq(lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
-                    res = np.empty(lo.size, dtype=np.int64)
-                    ln = hi - lo + 1
-                    for k in range(levels):
-                        grp = (ln >> k) == 1
-                        if grp.any():
-                            t = table[k]
-                            res[grp] = np.minimum(
-                                t[lo[grp]], t[hi[grp] - (1 << k) + 1]
-                            )
-                    return res
-
-                m1 = rmq(ql, qr)
-                val1 = m1 // M - 1
-                pos1 = m1 % M
-                fa = assoc_row[stt[fq]]
-                verdict = np.empty(fq.size, dtype=bool)
-                is3 = fa == 3
-                verdict[is3] = val1[is3] > fp[is3]
-                is4 = ~is3
-                if is4.any():
-                    # Second minimum: best of the two windows flanking the
-                    # argmin of the first.
+                rmq = _BlockRMQ(enc)
+                m1 = rmq(fp + 3, fq - 1)
+                val1 = m1 // m - 1
+                pos1 = m1 % m
+                fa = assoc_row[ksv[fq]]
+                verdict = val1 > fp
+                is4 = fa == 4
+                # Assoc 4 tolerates one intervening distinct tag: when the
+                # window minimum is <= fp the verdict falls to the second
+                # minimum — best of the two windows flanking the argmin.
+                # Windows whose minimum already exceeds fp are decided.
+                need2 = is4 & ~verdict
+                if need2.any():
                     big = np.int64(np.iinfo(np.int64).max)
                     val2 = np.full(fq.size, big)
-                    lm = is4 & (pos1 - 1 >= ql)
-                    if lm.any():
-                        val2[lm] = rmq(ql[lm], pos1[lm] - 1) // M - 1
-                    rm = is4 & (pos1 + 1 <= qr)
-                    if rm.any():
-                        val2[rm] = np.minimum(
-                            val2[rm], rmq(pos1[rm] + 1, qr[rm]) // M - 1
-                        )
-                    verdict[is4] = val2[is4] > fp[is4]
-                hit_c[fq if i34 is None else i34[fq]] = verdict
-        real_keep = ko >= n_syn
-        hits[ko[real_keep] - n_syn] = hit_c[real_keep]
+                    lm = need2 & (pos1 - 1 >= fp + 3)
+                    rm = need2 & (pos1 + 1 <= fq - 1)
+                    nl = int(np.count_nonzero(lm))
+                    l2 = np.concatenate([fp[lm] + 3, pos1[rm] + 1])
+                    if l2.size:
+                        h2 = np.concatenate([pos1[lm] - 1, fq[rm] - 1])
+                        v2 = rmq(l2, h2) // m - 1
+                        val2[lm] = v2[:nl]
+                        val2[rm] = np.minimum(val2[rm], v2[nl:])
+                    verdict[need2] = val2[need2] > fp[need2]
+                hit_c[fq] = verdict
+        if n_syn:
+            real_keep = ko >= n_syn
+            chits[ko[real_keep] - n_syn] = hit_c[real_keep]
+        else:
+            chits[ko] = hit_c
+        for a, b, out in out_slices:
+            hits[out] = chits[a:b]
 
         # Final state: per set, the last `assoc` distinct tags, MRU first.
         gs = np.nonzero(knew)[0]
@@ -424,7 +559,7 @@ class BatchedLRU:
                 if len(found) == assoc or chunk == b - a:
                     break
                 chunk = min(b - a, chunk * 4)
-            W[row, : len(found)] = found
+            W[row_map[row], : len(found)] = found
 
     def _run_generational(self) -> None:
         """Per-generation state-matrix simulation (any associativity)."""
