@@ -1,0 +1,112 @@
+"""Semantic candidate cache vs uncached planning on the locality workload.
+
+The acceptance bar for the semantic cache (this PR's tentpole gate): on
+the locality-skewed browse workload over full-scale PA — drifting hot
+region, nested zooms, back-navigation repeats — a fresh
+:class:`SemanticCache` must cut charged R-tree node visits by at least
+**30%** versus ``semantic_cache=None`` while leaving every answer
+bit-identical, and the priced client energy under the fully-client scheme
+(where the client pays for all filter work) must measurably drop.
+
+The machine-readable record lands in
+``benchmarks/results/BENCH_semcache.json``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.api import Session
+from repro.core.batchplan import compute_query_phases
+from repro.core.executor import Policy
+from repro.core.schemes import Scheme, SchemeConfig
+from repro.core.semcache import SemanticCache, compute_query_phases_semantic
+from repro.data.workloads import locality_workload
+
+NODE_REDUCTION_FLOOR = 0.30
+
+FC = SchemeConfig(Scheme.FULLY_CLIENT)
+
+
+def test_locality_workload_semcache_speedup(pa_env, save_report, save_json):
+    queries = locality_workload(pa_env.dataset, 40, 3, seed=31)
+    policy = Policy()
+
+    pa_env.reset_caches()
+    uncached = compute_query_phases(pa_env, queries)
+    nodes_uncached = sum(
+        int(qp.filter_trace.counter.nodes_visited) for qp in uncached
+    )
+    cache = SemanticCache(4096)
+    pa_env.reset_caches()
+    semantic, verdicts = compute_query_phases_semantic(
+        pa_env, queries, cache
+    )
+    nodes_semantic = sum(
+        int(qp.filter_trace.counter.nodes_visited) for qp in semantic
+    )
+    answers_equal = all(
+        np.array_equal(a.answer_ids, b.answer_ids)
+        for a, b in zip(semantic, uncached)
+    )
+    node_reduction = 1.0 - nodes_semantic / nodes_uncached
+
+    base_row = Session(pa_env).run(
+        queries, schemes=FC, policies=policy
+    ).rows[0]
+    sem_row = Session(pa_env, semantic_cache=SemanticCache(4096)).run(
+        queries, schemes=FC, policies=policy
+    ).rows[0]
+    energy_reduction = 1.0 - sem_row.energy_j / base_row.energy_j
+
+    stats = cache.stats_dict()
+    record = {
+        "workload": "locality",
+        "dataset": pa_env.dataset.name,
+        "scale": 1.0,
+        "n_queries": len(queries),
+        "capacity": 4096,
+        "scheme": FC.label,
+        "answers_equal": answers_equal,
+        "nodes_uncached": nodes_uncached,
+        "nodes_semantic": nodes_semantic,
+        "node_reduction": node_reduction,
+        "energy_uncached_j": base_row.energy_j,
+        "energy_semantic_j": sem_row.energy_j,
+        "energy_reduction": energy_reduction,
+        "verdicts": {
+            v: sum(1 for x in verdicts if x == v)
+            for v in ("hit", "refine", "miss")
+        },
+        "cache": stats,
+    }
+    save_report("semcache_speedup", "\n".join([
+        "semantic candidate cache -- full-scale PA locality workload",
+        f"queries : {len(queries)}",
+        (
+            f"verdicts: {record['verdicts']['hit']} hit / "
+            f"{record['verdicts']['refine']} refine / "
+            f"{record['verdicts']['miss']} miss "
+            f"(hit rate {stats['hit_rate']:.1%})"
+        ),
+        (
+            f"nodes   : {nodes_uncached} -> {nodes_semantic} "
+            f"({node_reduction:.1%} fewer R-tree node visits)"
+        ),
+        (
+            f"energy  : {base_row.energy_j:.4f} J -> "
+            f"{sem_row.energy_j:.4f} J ({energy_reduction:.1%} less)"
+        ),
+    ]))
+    save_json("BENCH_semcache", record)
+
+    assert answers_equal, "cached answers differ from uncached planning"
+    assert node_reduction >= NODE_REDUCTION_FLOOR, (
+        f"node-visit reduction {node_reduction:.1%} below the "
+        f"{NODE_REDUCTION_FLOOR:.0%} gate "
+        f"({nodes_uncached} -> {nodes_semantic})"
+    )
+    assert sem_row.energy_j < base_row.energy_j, (
+        f"semantic cache did not reduce client energy "
+        f"({base_row.energy_j:.6f} J -> {sem_row.energy_j:.6f} J)"
+    )

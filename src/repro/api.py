@@ -70,6 +70,8 @@ __all__ = [
     "SweepCell",
     "ENGINES",
     "PLANNERS",
+    "MATERIALIZING_PLANNERS",
+    "PlanMaterializationError",
 ]
 
 #: Pricing engines a session can run: ``"batched"`` is the vectorized
@@ -84,6 +86,30 @@ ENGINES = ("batched", "scalar")
 #: (:mod:`repro.core.colplan`) — it never materializes plan objects, so it
 #: is only valid for :meth:`Session.run` / :meth:`Engine.run_columnar`.
 PLANNERS = ("batched", "scalar", "columnar")
+
+#: The planners that produce :class:`~repro.core.executor.QueryPlan`
+#: objects, i.e. the ones ``plan``/``plan_grid`` accept.
+MATERIALIZING_PLANNERS = ("batched", "scalar")
+
+
+class PlanMaterializationError(ValueError):
+    """A planner that cannot materialize plan objects was asked to.
+
+    Raised by :meth:`Engine.plan_grid` / :meth:`Session.plan_grid` when
+    ``planner`` names an engine (like ``"columnar"``) that fuses planning
+    and pricing.  Carries the offending ``planner`` and the ``allowed``
+    alternatives so front ends (the CLI included) can surface them.
+    """
+
+    def __init__(self, planner: str, allowed: Sequence[str] = MATERIALIZING_PLANNERS):
+        self.planner = planner
+        self.allowed = tuple(allowed)
+        super().__init__(
+            f"planner={planner!r} fuses planning and pricing and never "
+            "materializes plans; use Session.run(planner='columnar') or "
+            "Engine.run_columnar(), or choose a materializing planner "
+            f"({', '.join(repr(p) for p in self.allowed)})"
+        )
 
 
 @dataclass(frozen=True)
@@ -256,6 +282,7 @@ class Engine:
         *,
         plan_cache: Optional[PlanCache] = None,
         ledger: Optional[RunLedger] = None,
+        semantic_cache=None,
     ) -> None:
         if isinstance(source, Environment):
             self.env = source
@@ -274,9 +301,18 @@ class Engine:
             raise TypeError(
                 f"ledger must be a RunLedger, got {type(ledger).__name__}"
             )
+        if semantic_cache is not None:
+            from repro.core.semcache import SemanticCache
+
+            if not isinstance(semantic_cache, SemanticCache):
+                raise TypeError(
+                    "semantic_cache must be a SemanticCache, got "
+                    f"{type(semantic_cache).__name__}"
+                )
         self.dataset = self.env.dataset
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
         self.ledger = ledger
+        self.semantic_cache = semantic_cache
         self._fingerprint: Optional[str] = None
         self.compile_cache: Dict[tuple, object] = {}
         self._phase_cache: Optional[PhaseDataCache] = None
@@ -379,19 +415,24 @@ class Engine:
             raise ValueError(
                 f"unknown planner {planner!r}; choose from {PLANNERS}"
             )
-        if planner == "columnar":
+        if planner not in MATERIALIZING_PLANNERS:
+            raise PlanMaterializationError(planner)
+        if self.semantic_cache is not None and planner != "batched":
             raise ValueError(
-                "planner='columnar' fuses planning and pricing and never "
-                "materializes plans; use Session.run(planner='columnar') "
-                "or Engine.run_columnar()"
+                "semantic_cache requires planner='batched' (the scalar "
+                "planner has no semantic filter path; use "
+                "repro.core.semcache.plan_query_semantic for the oracle walk)"
             )
         start = time.perf_counter()
+        # Semantically cached plans depend on the evolving cache state, so
+        # they are never stored in (or served from) the plan cache.
+        use_plan_cache = reset_caches and self.semantic_cache is None
         per_scheme: List[Optional[List[QueryPlan]]] = []
         missing: List[int] = []
         for i, config in enumerate(configs):
             plans = (
                 self.plan_cache.get(self.fingerprint, queries, config)
-                if reset_caches
+                if use_plan_cache
                 else None
             )
             per_scheme.append(plans)
@@ -406,6 +447,7 @@ class Engine:
                     todo,
                     reset_caches=reset_caches,
                     phase_cache=self.phase_cache,
+                    semantic_cache=self.semantic_cache,
                 )
             else:
                 planned = []
@@ -415,10 +457,16 @@ class Engine:
                     planned.append(self._plan_serial(queries, config))
             for i, plans in zip(missing, planned):
                 per_scheme[i] = plans
-                if reset_caches:
+                if use_plan_cache:
                     self.plan_cache.put(
                         self.fingerprint, queries, configs[i], plans
                     )
+        if self.semantic_cache is not None:
+            self.record(
+                "semcache",
+                dataset=self.dataset.name,
+                **self.semantic_cache.stats_dict(),
+            )
         elapsed = time.perf_counter() - start
         if self.ledger is not None:
             planned_seconds = elapsed / len(missing) if missing else 0.0
@@ -523,8 +571,15 @@ class Engine:
             reset_caches=reset_caches,
             phase_cache=self.phase_cache,
             processes=processes,
+            semantic_cache=self.semantic_cache,
         )
         elapsed = time.perf_counter() - start
+        if self.semantic_cache is not None:
+            self.record(
+                "semcache",
+                dataset=self.dataset.name,
+                **self.semantic_cache.stats_dict(),
+            )
         if self.ledger is not None:
             per_scheme = elapsed / len(configs) if configs else 0.0
             for config in configs:
@@ -560,16 +615,26 @@ class Session:
         *,
         plan_cache: Optional[PlanCache] = None,
         ledger: Optional[RunLedger] = None,
+        semantic_cache=None,
     ) -> None:
         if isinstance(source, Engine):
-            if plan_cache is not None or ledger is not None:
+            if (
+                plan_cache is not None
+                or ledger is not None
+                or semantic_cache is not None
+            ):
                 raise TypeError(
-                    "plan_cache and ledger are configured on the shared "
-                    "Engine; do not pass them again"
+                    "plan_cache, ledger and semantic_cache are configured "
+                    "on the shared Engine; do not pass them again"
                 )
             self.engine = source
         elif isinstance(source, (SegmentDataset, Environment)):
-            self.engine = Engine(source, plan_cache=plan_cache, ledger=ledger)
+            self.engine = Engine(
+                source,
+                plan_cache=plan_cache,
+                ledger=ledger,
+                semantic_cache=semantic_cache,
+            )
         else:
             raise TypeError(
                 "Session() takes a SegmentDataset or an Environment (or a "
@@ -607,6 +672,11 @@ class Session:
     def phase_cache(self) -> PhaseDataCache:
         """The engine's phase-data cache."""
         return self.engine.phase_cache
+
+    @property
+    def semantic_cache(self):
+        """The engine's semantic candidate cache (``None`` when disabled)."""
+        return self.engine.semantic_cache
 
     # Backwards-compatible aliases for the pre-Engine attribute layout.
     _as_queries = staticmethod(Engine._as_queries)

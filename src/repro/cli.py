@@ -16,6 +16,11 @@ Commands
 ``serve``
     Run the multi-tenant query service over a generated client fleet and
     print throughput, admission, and latency/energy percentiles.
+``semcache``
+    Measure the cross-query semantic candidate cache on the locality-skewed
+    browse workload: verifies answers are bit-identical to uncached
+    planning, reports hit/refine/miss tallies, and gates the node-visit and
+    client-energy reductions (exits 1 on a miss of either).
 ``taxonomy``
     Print the Table 1 work-partitioning taxonomy.
 
@@ -397,6 +402,122 @@ def cmd_planbench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_semcache(args: argparse.Namespace) -> int:
+    import json
+
+    import numpy as np
+
+    from repro.bench.provenance import stamp_record
+    from repro.core.batchplan import compute_query_phases
+    from repro.core.semcache import SemanticCache, compute_query_phases_semantic
+    from repro.data.workloads import locality_workload
+
+    env = _load_env(args.dataset, args.scale)
+    queries = locality_workload(
+        env.dataset, args.groups, args.zoom, seed=args.seed
+    )
+    config = SchemeConfig(Scheme.FULLY_CLIENT)
+    policy = _policy(args)
+
+    # Charged filter-phase node visits per query occurrence, both paths.
+    env.reset_caches()
+    uncached = compute_query_phases(env, queries)
+    nodes_uncached = sum(
+        int(qp.filter_trace.counter.nodes_visited) for qp in uncached
+    )
+    cache = SemanticCache(args.capacity)
+    env.reset_caches()
+    semantic, verdicts = compute_query_phases_semantic(env, queries, cache)
+    nodes_semantic = sum(
+        int(qp.filter_trace.counter.nodes_visited) for qp in semantic
+    )
+    answers_equal = len(uncached) == len(semantic) and all(
+        np.array_equal(a.answer_ids, b.answer_ids)
+        for a, b in zip(semantic, uncached)
+    )
+
+    # Priced client energy through the facade, fresh caches per run.
+    base_row = Session(env).run(
+        queries, schemes=config, policies=policy
+    ).rows[0]
+    sem_row = Session(env, semantic_cache=SemanticCache(args.capacity)).run(
+        queries, schemes=config, policies=policy
+    ).rows[0]
+    node_reduction = (
+        1.0 - nodes_semantic / nodes_uncached if nodes_uncached else 0.0
+    )
+    energy_reduction = (
+        1.0 - sem_row.energy_j / base_row.energy_j if base_row.energy_j else 0.0
+    )
+    stats = cache.stats_dict()
+    record = {
+        "workload": "locality",
+        "dataset": env.dataset.name,
+        "scale": args.scale,
+        "n_queries": len(queries),
+        "groups": args.groups,
+        "zoom_depth": args.zoom,
+        "seed": args.seed,
+        "capacity": args.capacity,
+        "scheme": config.label,
+        "bandwidth_mbps": args.bandwidth,
+        "answers_equal": answers_equal,
+        "nodes_uncached": nodes_uncached,
+        "nodes_semantic": nodes_semantic,
+        "node_reduction": node_reduction,
+        "energy_uncached_j": base_row.energy_j,
+        "energy_semantic_j": sem_row.energy_j,
+        "energy_reduction": energy_reduction,
+        "verdicts": {
+            v: sum(1 for x in verdicts if x == v)
+            for v in ("hit", "refine", "miss")
+        },
+        "cache": stats,
+    }
+    print(f"semantic candidate cache -- {env.dataset.name} locality workload")
+    print(f"queries : {len(queries)}  (groups={args.groups}, zoom={args.zoom})")
+    print(
+        "verdicts: "
+        f"{record['verdicts']['hit']} hit / "
+        f"{record['verdicts']['refine']} refine / "
+        f"{record['verdicts']['miss']} miss  "
+        f"(hit rate {stats['hit_rate']:.1%})"
+    )
+    print(
+        f"nodes   : {nodes_uncached} uncached -> {nodes_semantic} cached  "
+        f"({node_reduction:.1%} fewer R-tree node visits)"
+    )
+    print(
+        f"energy  : {base_row.energy_j:.4f} J -> {sem_row.energy_j:.4f} J  "
+        f"({energy_reduction:.1%} less client energy)"
+    )
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(stamp_record(record), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"json    : {args.json}")
+    if not answers_equal:
+        print(
+            "FAIL: semantic-cached answers differ from uncached planning",
+            file=sys.stderr,
+        )
+        return 1
+    if node_reduction < 0.3:
+        print(
+            f"FAIL: node-visit reduction {node_reduction:.1%} below the "
+            "30% gate",
+            file=sys.stderr,
+        )
+        return 1
+    if sem_row.energy_j >= base_row.energy_j:
+        print(
+            "FAIL: semantic cache did not reduce client energy",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
@@ -499,6 +620,23 @@ def build_parser() -> argparse.ArgumentParser:
                     help="timed rounds per planner (min is reported)")
     pb.add_argument("--json", metavar="PATH", default=None,
                     help="write the machine-readable record to PATH")
+
+    sc = sub.add_parser(
+        "semcache",
+        help="measure the semantic candidate cache on the locality workload; "
+             "--json PATH writes BENCH_semcache.json",
+    )
+    sc.add_argument("--groups", type=int, default=40,
+                    help="hotspot groups in the locality workload")
+    sc.add_argument("--zoom", type=int, default=3,
+                    help="zoom-in queries per group")
+    sc.add_argument("--capacity", type=int, default=4096,
+                    help="semantic-cache capacity in entries")
+    sc.add_argument("--seed", type=int, default=31, help="workload seed")
+    sc.add_argument("--bandwidth", type=float, default=2.0, help="Mbps")
+    sc.add_argument("--distance", type=float, default=1000.0, help="meters")
+    sc.add_argument("--json", metavar="PATH", default=None,
+                    help="write the machine-readable record to PATH")
     return parser
 
 
@@ -510,6 +648,7 @@ _COMMANDS = {
     "bench": cmd_bench,
     "serve": cmd_serve,
     "planbench": cmd_planbench,
+    "semcache": cmd_semcache,
 }
 
 

@@ -379,19 +379,35 @@ def _pr_phases(
     mbr_tests: int,
     costs,
 ) -> QueryPhases:
-    nc = int(cand_ids.size)
-    na = int(answer_ids.size)
-    filter_counter = _counts(
-        nodes_visited=int(visited.size),
-        mbr_tests=mbr_tests,
-        entries_scanned=nc,
-    )
     filter_trace = PhaseTrace(
-        filter_counter,
+        _counts(
+            nodes_visited=int(visited.size),
+            mbr_tests=mbr_tests,
+            entries_scanned=int(cand_ids.size),
+        ),
         np.full(visited.size, REGION_INDEX, dtype=np.int8),
         visited.astype(np.int64),
         node_bytes[visited],
     )
+    return _phases_with_filter(key, q, filter_trace, cand_ids, answer_ids, costs)
+
+
+def _phases_with_filter(
+    key: tuple,
+    q: Query,
+    filter_trace: PhaseTrace,
+    cand_ids: np.ndarray,
+    answer_ids: np.ndarray,
+    costs,
+) -> QueryPhases:
+    """Phase data from an already-built filter trace (traversal or cache).
+
+    The refine/answer construction shared by the traversal path above and
+    the semantic cache (:mod:`repro.core.semcache`), whose served filter
+    phases carry different counts/touches but identical downstream phases.
+    """
+    nc = int(cand_ids.size)
+    na = int(answer_ids.size)
     refine_fields = dict(candidates_refined=nc)
     if nc > 0:
         # engine.refine returns before the geometry tests when the
@@ -417,7 +433,7 @@ def _pr_phases(
             ]
         ),
     )
-    merged = _counts(**filter_counter.counts_dict())
+    merged = _counts(**filter_trace.counter.counts_dict())
     merged.merge(refine_trace.counter)
     answer_trace = PhaseTrace(
         merged,
@@ -826,6 +842,7 @@ def plan_workload_batched(
     *,
     reset_caches: bool = True,
     phase_cache: Optional[PhaseDataCache] = None,
+    semantic_cache=None,
 ) -> List[List[QueryPlan]]:
     """Plan every query under every scheme configuration at once.
 
@@ -840,6 +857,11 @@ def plan_workload_batched(
     all configurations on one warm timeline (no cross-config stream
     sharing is possible then).  Returns one plan list per configuration,
     aligned with ``configs``.
+
+    With a :class:`~repro.core.semcache.SemanticCache`, point/range filter
+    phases are served from cross-query containment algebra when possible
+    (answers stay bit-identical; op tallies reflect the saved traversal
+    work) and the cache is updated in query order.
     """
     queries = list(queries)
     configs = list(configs)
@@ -851,7 +873,14 @@ def plan_workload_batched(
     if not configs:
         return []
     costs = env.dataset.costs
-    phases = compute_query_phases(env, queries, phase_cache)
+    if semantic_cache is not None:
+        from repro.core.semcache import compute_query_phases_semantic
+
+        phases, _ = compute_query_phases_semantic(
+            env, queries, semantic_cache, phase_cache
+        )
+    else:
+        phases = compute_query_phases(env, queries, phase_cache)
 
     client = env.client_cpu
     server = env.server_cpu

@@ -539,6 +539,7 @@ def plan_and_price_columnar(
     reset_caches: bool = True,
     phase_cache: Optional[PhaseDataCache] = None,
     processes: Optional[int] = None,
+    semantic_cache=None,
 ) -> List[GridResult]:
     """Plan and price the whole grid in one columnar pass.
 
@@ -550,6 +551,12 @@ def plan_and_price_columnar(
     state the scalar loop leaves them.  ``processes`` shards the traversal
     phase over query blocks (exact; see
     :func:`compute_query_phases_sharded`).
+
+    With a :class:`~repro.core.semcache.SemanticCache`, slot compilation
+    accepts cache-served candidate columns instead of fresh traversals:
+    phase data comes from the cache's sequential algebra (which is why the
+    semantic path never shards — verdicts depend on query order), answers
+    stay bit-identical, and the grid prices the saved filter work.
     """
     queries = list(queries)
     configs = list(configs)
@@ -566,9 +573,16 @@ def plan_and_price_columnar(
     if not policies:
         raise ValueError("plan_and_price_columnar() requires at least one policy")
     costs = env.dataset.costs
-    phases = compute_query_phases_sharded(
-        env, queries, phase_cache, processes=processes
-    )
+    if semantic_cache is not None:
+        from repro.core.semcache import compute_query_phases_semantic
+
+        phases, _ = compute_query_phases_semantic(
+            env, queries, semantic_cache, phase_cache
+        )
+    else:
+        phases = compute_query_phases_sharded(
+            env, queries, phase_cache, processes=processes
+        )
     batch, per_config, sims = _replay_workload(
         env, phases, configs, costs, reset_caches=reset_caches
     )

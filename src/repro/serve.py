@@ -112,6 +112,9 @@ class QueryOutcome:
     contention_j: float = 0.0
     answer_ids: Tuple[int, ...] = ()
     n_results: int = 0
+    #: Semantic-cache verdict ("hit" / "refine" / "miss") when the service
+    #: runs with a shared semantic cache; "" otherwise (and for NN queries).
+    semcache: str = ""
     result: Optional[RunResult] = field(default=None, compare=False)
 
     @property
@@ -137,6 +140,8 @@ class QueryOutcome:
                 contention_j=self.contention_j,
                 n_results=self.n_results,
             )
+            if self.semcache:
+                rec["semcache"] = self.semcache
         return rec
 
 
@@ -281,16 +286,26 @@ class QueryService:
         batch_window_s: float = 0.05,
         plan_cache: Optional[PlanCache] = None,
         ledger: Optional[RunLedger] = None,
+        semantic_cache=None,
     ) -> None:
         if isinstance(source, Engine):
-            if plan_cache is not None or ledger is not None:
+            if (
+                plan_cache is not None
+                or ledger is not None
+                or semantic_cache is not None
+            ):
                 raise TypeError(
-                    "plan_cache and ledger are configured on the shared "
-                    "Engine; do not pass them again"
+                    "plan_cache, ledger and semantic_cache are configured "
+                    "on the shared Engine; do not pass them again"
                 )
             self.engine = source
         elif isinstance(source, (SegmentDataset, Environment)):
-            self.engine = Engine(source, plan_cache=plan_cache, ledger=ledger)
+            self.engine = Engine(
+                source,
+                plan_cache=plan_cache,
+                ledger=ledger,
+                semantic_cache=semantic_cache,
+            )
         else:
             raise TypeError(
                 "QueryService() takes a SegmentDataset or an Environment "
@@ -393,10 +408,12 @@ class QueryService:
                 served = self._serve_columnar(batch_reqs, states, server_sim)
             else:
                 if planner == "batched":
-                    plans = self._plan_batch(batch_reqs, states, server_sim)
+                    plans, verdicts = self._plan_batch(
+                        batch_reqs, states, server_sim
+                    )
                     results = self._price_batch(batch_reqs, plans, states)
                 else:
-                    plans, results = self._serve_serial(
+                    plans, results, verdicts = self._serve_serial(
                         batch_reqs, states, server_sim
                     )
                 served = [
@@ -409,8 +426,9 @@ class QueryService:
                         tuple(int(a) for a in plan.answer_ids),
                         plan.n_results,
                         result,
+                        verdict,
                     )
-                    for plan, result in zip(plans, results)
+                    for plan, result, verdict in zip(plans, results, verdicts)
                 ]
             # Contention: server-side compute serializes within the batch.
             clock = env.server_cpu.clock_hz
@@ -418,7 +436,7 @@ class QueryService:
             for k, idx in enumerate(batch):
                 r = reqs[idx]
                 st = states[r.client_id]
-                server_cycles, answer_ids, n_results, result = served[k]
+                server_cycles, answer_ids, n_results, result, semv = served[k]
                 server_s = server_cycles / clock
                 delay = (t_start - r.arrival_s) + cursor
                 cursor += server_s
@@ -440,6 +458,7 @@ class QueryService:
                     contention_j=contention_j,
                     answer_ids=answer_ids,
                     n_results=n_results,
+                    semcache=semv,
                     result=result,
                 )
             t_free = t_start + cursor
@@ -467,6 +486,12 @@ class QueryService:
         if self.engine.ledger is not None:
             for o in report.outcomes:
                 self.engine.record("outcome", **o.to_record())
+            if self.engine.semantic_cache is not None:
+                self.engine.record(
+                    "semcache",
+                    dataset=self.engine.dataset.name,
+                    **self.engine.semantic_cache.stats_dict(),
+                )
             self.engine.record("serve", **report.summary())
         return report
 
@@ -486,9 +511,15 @@ class QueryService:
         each warm-seeded from its saved state so every timeline continues
         exactly where the last batch left it.  The environment's own caches
         are never touched; the per-client sims and ``server_sim`` are
-        advanced in place.  Returns ``(phases, slots, slot_costs)`` with
-        one entry per request — the shared front half of both the batched
-        (plan-object) and columnar service paths.
+        advanced in place.  Returns ``(phases, slots, slot_costs,
+        verdicts)`` with one entry per request — the shared front half of
+        both the batched (plan-object) and columnar service paths.
+
+        With a shared semantic cache on the engine, phase data comes from
+        :func:`~repro.core.semcache.compute_query_phases_semantic` — the
+        cache advances sequentially in dispatch order, so outcomes are
+        independent of where micro-batch boundaries fall — and ``verdicts``
+        carries each request's hit/refine/miss (else all ``""``).
         """
         engine = self.engine
         env = engine.env
@@ -498,9 +529,20 @@ class QueryService:
             "client": CacheGeometry.of(client_cpu.dcache, client_cpu.costs),
             "server": CacheGeometry.of(server_cpu.l1, server_cpu.costs),
         }
-        phases = compute_query_phases(
-            env, [r.query for r in batch_reqs], engine.phase_cache
-        )
+        if engine.semantic_cache is not None:
+            from repro.core.semcache import compute_query_phases_semantic
+
+            phases, verdicts = compute_query_phases_semantic(
+                env,
+                [r.query for r in batch_reqs],
+                engine.semantic_cache,
+                engine.phase_cache,
+            )
+        else:
+            phases = compute_query_phases(
+                env, [r.query for r in batch_reqs], engine.phase_cache
+            )
+            verdicts = [""] * len(batch_reqs)
         slots = [
             _query_phase_slots(qp, states[r.client_id].profile.scheme, costs)
             for qp, r in zip(phases, batch_reqs)
@@ -582,20 +624,20 @@ class QueryService:
             server_sim._sets = lru.final_sets(server_stream.handle)
             server_sim.hits += server_stream.hits_total
             server_sim.misses += server_stream.misses_total
-        return phases, slots, slot_costs
+        return phases, slots, slot_costs, verdicts
 
     def _plan_batch(
         self,
         batch_reqs: List[QueryRequest],
         states: Dict[int, _ClientState],
         server_sim: CacheSim,
-    ) -> List[QueryPlan]:
+    ) -> Tuple[List[QueryPlan], List[str]]:
         """Plan one micro-batch through the batched machinery."""
-        phases, slots, slot_costs = self._replay_batch(
+        phases, slots, slot_costs, verdicts = self._replay_batch(
             batch_reqs, states, server_sim
         )
         costs = self.engine.env.dataset.costs
-        return [
+        plans = [
             _assemble_plan(
                 r.query,
                 states[r.client_id].profile.scheme,
@@ -605,13 +647,14 @@ class QueryService:
             )
             for k, r in enumerate(batch_reqs)
         ]
+        return plans, verdicts
 
     def _serve_columnar(
         self,
         batch_reqs: List[QueryRequest],
         states: Dict[int, _ClientState],
         server_sim: CacheSim,
-    ) -> List[Tuple[float, Tuple[int, ...], int, RunResult]]:
+    ) -> List[Tuple[float, Tuple[int, ...], int, RunResult, str]]:
         """Serve one micro-batch through the fused columnar compile/price.
 
         Same replay as :meth:`_plan_batch`, but each query compiles
@@ -619,12 +662,12 @@ class QueryService:
         and the batch prices per policy group through
         :func:`~repro.core.colplan.price_compiled` — no
         :class:`~repro.core.executor.QueryPlan` objects exist.  Returns one
-        ``(server_cycles, answer_ids, n_results, result)`` tuple per
-        request, bit-identical to the batched path's.
+        ``(server_cycles, answer_ids, n_results, result, semcache)`` tuple
+        per request, bit-identical to the batched path's.
         """
         from repro.core.colplan import compile_slots, price_compiled
 
-        phases, slots, slot_costs = self._replay_batch(
+        phases, slots, slot_costs, verdicts = self._replay_batch(
             batch_reqs, states, server_sim
         )
         env = self.engine.env
@@ -664,6 +707,7 @@ class QueryService:
                 tuple(int(a) for a in compiled[k].answer_ids),
                 compiled[k].n_results,
                 results[k],
+                verdicts[k],
             )
             for k in range(len(batch_reqs))
         ]
@@ -696,21 +740,38 @@ class QueryService:
         batch_reqs: List[QueryRequest],
         states: Dict[int, _ClientState],
         server_sim: CacheSim,
-    ) -> Tuple[List[QueryPlan], List[RunResult]]:
-        """The per-query scalar reference: swap in each query's caches."""
-        env = self.engine.env
+    ) -> Tuple[List[QueryPlan], List[RunResult], List[str]]:
+        """The per-query scalar reference: swap in each query's caches.
+
+        With a shared semantic cache the scalar walk goes through
+        :func:`~repro.core.semcache.plan_one_semantic` — the same cache
+        instance, advanced one query at a time, which is exactly the
+        sequential semantics the batched path reproduces.
+        """
+        engine = self.engine
+        env = engine.env
         client, server = env.client_cpu, env.server_cpu
         saved = (client.dcache, server.l1)
         plans: List[QueryPlan] = []
         results: List[RunResult] = []
+        verdicts: List[str] = []
         try:
             server.l1 = server_sim
             for r in batch_reqs:
                 st = states[r.client_id]
                 client.dcache = st.sim
-                plan = plan_query(r.query, st.profile.scheme, env)
+                if engine.semantic_cache is not None:
+                    from repro.core.semcache import plan_one_semantic
+
+                    plan, verdict = plan_one_semantic(
+                        r.query, st.profile.scheme, env, engine.semantic_cache
+                    )
+                else:
+                    plan = plan_query(r.query, st.profile.scheme, env)
+                    verdict = ""
                 plans.append(plan)
+                verdicts.append(verdict)
                 results.append(price_plan(plan, env, st.profile.policy))
         finally:
             client.dcache, server.l1 = saved
-        return plans, results
+        return plans, results, verdicts

@@ -45,6 +45,7 @@ __all__ = [
     "SCALAR_REL_TOL",
     "assert_columnar_differential",
     "assert_grids_identical",
+    "assert_semcache_differential",
     "assert_tables_close",
     "assert_tables_identical",
     "cache_state",
@@ -210,3 +211,176 @@ def _approx(value: float):
     import pytest
 
     return pytest.approx(value, rel=SCALAR_REL_TOL, abs=0.0)
+
+
+def assert_semcache_differential(
+    env: Environment,
+    queries: Sequence[Query],
+    configs: Sequence[SchemeConfig],
+    policies: Optional[Sequence[Policy]] = None,
+    *,
+    capacity: int = 4096,
+) -> None:
+    """Pin semantic-cached planning to uncached planning on one workload.
+
+    Runs the workload four ways and cross-checks them:
+
+    1. **Uncached baseline** — ``plan_workload_batched`` with no cache,
+       plans and final simulator state captured.
+    2. **Cold semantic pass** — a fresh :class:`SemanticCache`.  Answers
+       must be bit-identical to the baseline for every plan.  If the cold
+       pass served nothing (``hits + refines == 0``, possible only when
+       no within-batch containment fires), the plans and simulator state
+       must equal the baseline bit for bit.
+    3. **Warm semantic pass** — re-running the workload on the cold
+       pass's final cache.  Answers again bit-identical; every cached
+       (plan, policy) cell priced by the grid pricer and the scalar
+       pricer agrees within :data:`SCALAR_REL_TOL`; miss-verdict and
+       NN/k-NN plans are bit-identical to the uncached baseline (served
+       plans legitimately carry smaller op tallies — the saved work).
+    4. **Scalar semantic twin** — :func:`plan_one_semantic` per query on
+       a clone of each pass's starting cache must reproduce that pass's
+       plans bit for bit (``plans_equal``) and leave identical simulator
+       state; the twin cache's verdict tallies must match the batched
+       pass's.
+
+    Op tallies are checked per occurrence against the uncached phase
+    data: hits do zero traversal work and scan exactly ``nc`` cached
+    ids; refines do zero node visits and at least ``nc`` MBR tests
+    (the tested superset); misses are charged identically to the
+    uncached planner.  Candidate and answer id arrays are bit-identical
+    to uncached in every verdict class.  Finally the fused columnar
+    pricer with its own cache clone must equal ``price_grid`` over the
+    batched semantic plans bit for bit, cold and warm.
+    """
+    from repro.core.batchplan import compute_query_phases, plans_equal
+    from repro.core.queries import QueryKind
+    from repro.core.semcache import (
+        SemanticCache,
+        compute_query_phases_semantic,
+        plan_one_semantic,
+    )
+
+    queries = list(queries)
+    configs = list(configs)
+    policies = list(policies) if policies is not None else [Policy()]
+
+    # 1. Uncached baseline.
+    base_plans = plan_workload_batched(env, queries, configs)
+    base_state = cache_state(env)
+    env.reset_caches()
+    base_phases = compute_query_phases(env, queries)
+
+    # 2/3. Cold then warm batched semantic passes.
+    cold_cache = SemanticCache(capacity)
+    cold_plans = plan_workload_batched(
+        env, queries, configs, semantic_cache=cold_cache
+    )
+    cold_state = cache_state(env)
+    cold_stats = cold_cache.stats_dict()
+    warm_cache = cold_cache.clone()
+    warm_plans = plan_workload_batched(
+        env, queries, configs, semantic_cache=warm_cache
+    )
+    warm_state = cache_state(env)
+
+    for plans in (cold_plans, warm_plans):
+        assert len(plans) == len(configs)
+        for got_cfg, want_cfg in zip(plans, base_plans):
+            for got, want in zip(got_cfg, want_cfg):
+                assert np.array_equal(got.answer_ids, want.answer_ids)
+                assert got.n_results == want.n_results
+    if cold_stats["hits"] + cold_stats["refines"] == 0:
+        for got_cfg, want_cfg in zip(cold_plans, base_plans):
+            assert plans_equal(got_cfg, want_cfg)
+        assert cold_state == base_state
+
+    # Priced energies: grid pricer vs scalar pricer on every cached
+    # (plan, policy) cell, within SCALAR_REL_TOL.
+    for sem_cfg in warm_plans:
+        grid = price_grid(sem_cfg, policies, env)
+        for i, plan in enumerate(sem_cfg):
+            for j, pol in enumerate(policies):
+                got = grid.result(i, j)
+                want = price_plan(plan, env, pol)
+                assert got.energy.total() == _approx(want.energy.total())
+                assert got.n_results == want.n_results
+
+    # 4. Scalar semantic twin, per pass.
+    for start, batched_plans, want_state, batched_stats in (
+        (SemanticCache(capacity), cold_plans, cold_state, cold_cache),
+        (cold_cache.clone(), warm_plans, warm_state, warm_cache),
+    ):
+        twin = None
+        for cfg_i, cfg in enumerate(configs):
+            twin = start.clone()
+            env.reset_caches()
+            twin_plans = [
+                plan_one_semantic(q, cfg, env, twin)[0] for q in queries
+            ]
+            assert plans_equal(twin_plans, batched_plans[cfg_i])
+        if twin is not None:
+            assert cache_state(env) == want_state
+            for key in ("hits", "refines", "misses", "entries",
+                        "insertions", "evictions"):
+                assert twin.stats_dict()[key] == batched_stats.stats_dict()[key]
+
+    # Per-occurrence verdict/tally pin against the uncached phase data.
+    cold_verdicts: List[str] = []
+    for start in (SemanticCache(capacity), cold_cache.clone()):
+        env.reset_caches()
+        phases, verdicts = compute_query_phases_semantic(
+            env, queries, start
+        )
+        if not cold_verdicts:
+            cold_verdicts = list(verdicts)
+        for q, qp, base_qp, verdict in zip(
+            queries, phases, base_phases, verdicts
+        ):
+            assert np.array_equal(qp.cand_ids, base_qp.cand_ids)
+            assert np.array_equal(qp.answer_ids, base_qp.answer_ids)
+            if q.kind is QueryKind.NEAREST_NEIGHBOR:
+                assert verdict == ""
+                continue
+            c = qp.filter_trace.counter
+            nc = int(qp.cand_ids.size)
+            if verdict == "hit":
+                assert c.nodes_visited == 0
+                assert c.mbr_tests == 0
+                assert c.entries_scanned == nc
+            elif verdict == "refine":
+                assert c.nodes_visited == 0
+                assert c.mbr_tests >= nc
+                assert c.entries_scanned == nc
+            else:
+                assert verdict == "miss"
+                assert (
+                    c.counts_dict()
+                    == base_qp.filter_trace.counter.counts_dict()
+                )
+
+    # Misses and NN/k-NN queries plan bit-identically to uncached.
+    for idx, v in enumerate(cold_verdicts):
+        if v in ("miss", ""):
+            for cfg_i in range(len(configs)):
+                assert plans_equal(
+                    [cold_plans[cfg_i][idx]], [base_plans[cfg_i][idx]]
+                )
+
+    # Columnar semantic pricing ≡ price_grid over the batched plans.
+    for start, batched_plans in (
+        (SemanticCache(capacity), cold_plans),
+        (cold_cache.clone(), warm_plans),
+    ):
+        col_cache = start.clone()
+        col_grids = plan_and_price_columnar(
+            env, queries, configs, policies, semantic_cache=col_cache
+        )
+        batched_grids = [
+            price_grid(plans, policies, env) for plans in batched_plans
+        ]
+        for col, obj in zip(col_grids, batched_grids):
+            assert_grids_identical(col, obj)
+        for key in ("hits", "refines", "misses", "entries"):
+            want = (cold_cache if start.lookups == 0 else warm_cache)
+            assert col_cache.stats_dict()[key] == want.stats_dict()[key]
