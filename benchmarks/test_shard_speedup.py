@@ -1,0 +1,100 @@
+"""Shard-store pruning vs the monolithic engine on the locality workload.
+
+The acceptance bar for Hilbert key-range sharding (this PR's tentpole
+gate): on the locality-skewed browse workload over full-scale PA, a
+16-shard :class:`ShardStore` must leave at least **50%** of its shards
+unmaterialized (plan-time pruning), keep every answer bit-identical to
+the monolithic planner, and cost at most **1.1x** the unsharded
+wall-clock (best of three passes) — out-of-core residency must not tax
+in-core planning.
+
+The machine-readable record lands in
+``benchmarks/results/BENCH_shard.json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.batchplan import compute_query_phases
+from repro.core.executor import Environment
+from repro.core.shardstore import ShardConfig, ShardStore
+from repro.data.workloads import locality_workload
+
+PRUNE_FLOOR = 0.50
+WALL_CEILING = 1.10
+N_SHARDS = 16
+
+
+def _best_of(env, queries, repeat=3):
+    best = float("inf")
+    phases = None
+    for _ in range(repeat):
+        env.reset_caches()
+        t0 = time.perf_counter()
+        phases = compute_query_phases(env, queries)
+        best = min(best, time.perf_counter() - t0)
+    return best, phases
+
+
+def test_locality_workload_shard_pruning(pa_env, save_report, save_json):
+    queries = locality_workload(pa_env.dataset, 40, 3, seed=31)
+
+    base_s, base = _best_of(pa_env, queries)
+
+    env_sh = Environment.create(pa_env.dataset, tree=pa_env.tree)
+    store = ShardStore.from_tree(pa_env.tree, ShardConfig(n_shards=N_SHARDS))
+    env_sh.shard_store = store
+    shard_s, sharded = _best_of(env_sh, queries)
+
+    answers_equal = all(
+        np.array_equal(a.answer_ids, b.answer_ids)
+        for a, b in zip(sharded, base)
+    )
+    stats = store.stats_dict()
+    prune_rate = stats["shards_pruned"] / stats["shards_total"]
+    slowdown = shard_s / base_s
+
+    record = {
+        "workload": "locality",
+        "dataset": pa_env.dataset.name,
+        "scale": 1.0,
+        "n_queries": len(queries),
+        "n_shards": stats["shards_total"],
+        "answers_equal": answers_equal,
+        "shards_pruned": stats["shards_pruned"],
+        "prune_rate": prune_rate,
+        "shard_loads": stats["shard_loads"],
+        "base_wall_s": base_s,
+        "shard_wall_s": shard_s,
+        "slowdown": slowdown,
+        "gates": {
+            "min_prune_rate": PRUNE_FLOOR,
+            "max_slowdown": WALL_CEILING,
+        },
+    }
+    save_report("shard_speedup", "\n".join([
+        "hilbert key-range sharding -- full-scale PA locality workload",
+        f"queries : {len(queries)}",
+        (
+            f"shards  : {stats['shards_pruned']}/{stats['shards_total']} "
+            f"pruned ({prune_rate:.1%}), {stats['shard_loads']} loads"
+        ),
+        (
+            f"wall    : {base_s:.3f} s unsharded -> {shard_s:.3f} s sharded "
+            f"({slowdown:.2f}x)"
+        ),
+    ]))
+    save_json("BENCH_shard", record)
+
+    assert answers_equal, "sharded answers differ from the monolithic planner"
+    assert prune_rate >= PRUNE_FLOOR, (
+        f"prune rate {prune_rate:.1%} below the {PRUNE_FLOOR:.0%} gate "
+        f"({stats['shards_pruned']}/{stats['shards_total']})"
+    )
+    assert slowdown <= WALL_CEILING, (
+        f"sharded planning {slowdown:.2f}x unsharded exceeds the "
+        f"{WALL_CEILING:.2f}x ceiling ({base_s:.3f} s -> {shard_s:.3f} s)"
+    )

@@ -283,6 +283,7 @@ class Engine:
         plan_cache: Optional[PlanCache] = None,
         ledger: Optional[RunLedger] = None,
         semantic_cache=None,
+        sharding=None,
     ) -> None:
         if isinstance(source, Environment):
             self.env = source
@@ -293,6 +294,15 @@ class Engine:
                 f"{type(self).__name__}() takes a SegmentDataset or an "
                 f"Environment, got {type(source).__name__}"
             )
+        if sharding is not None:
+            from repro.core.shardstore import ShardConfig, ShardStore
+
+            if not isinstance(sharding, ShardConfig):
+                raise TypeError(
+                    "sharding must be a ShardConfig, got "
+                    f"{type(sharding).__name__}"
+                )
+            self.env.shard_store = ShardStore.from_tree(self.env.tree, sharding)
         if plan_cache is not None and not isinstance(plan_cache, PlanCache):
             raise TypeError(
                 f"plan_cache must be a PlanCache, got {type(plan_cache).__name__}"
@@ -468,6 +478,10 @@ class Engine:
                 **self.semantic_cache.stats_dict(),
             )
         elapsed = time.perf_counter() - start
+        # Shard pruning/residency counters for this planning call (drained
+        # whether or not a ledger records them, so the window stays per-call).
+        store = getattr(self.env, "shard_store", None)
+        shard_fields = store.take_stats() if store is not None else {}
         if self.ledger is not None:
             planned_seconds = elapsed / len(missing) if missing else 0.0
             for i, config in enumerate(configs):
@@ -482,6 +496,7 @@ class Engine:
                     cache_hits=self.plan_cache.hits,
                     cache_misses=self.plan_cache.misses,
                     cache_hit_rate=self.plan_cache.hit_rate,
+                    **shard_fields,
                 )
         return [plans if plans is not None else [] for plans in per_scheme]
 
@@ -580,6 +595,8 @@ class Engine:
                 dataset=self.dataset.name,
                 **self.semantic_cache.stats_dict(),
             )
+        store = getattr(self.env, "shard_store", None)
+        shard_fields = store.take_stats() if store is not None else {}
         if self.ledger is not None:
             per_scheme = elapsed / len(configs) if configs else 0.0
             for config in configs:
@@ -594,6 +611,7 @@ class Engine:
                     cache_hits=self.plan_cache.hits,
                     cache_misses=self.plan_cache.misses,
                     cache_hit_rate=self.plan_cache.hit_rate,
+                    **shard_fields,
                 )
         return grids
 
@@ -616,16 +634,18 @@ class Session:
         plan_cache: Optional[PlanCache] = None,
         ledger: Optional[RunLedger] = None,
         semantic_cache=None,
+        sharding=None,
     ) -> None:
         if isinstance(source, Engine):
             if (
                 plan_cache is not None
                 or ledger is not None
                 or semantic_cache is not None
+                or sharding is not None
             ):
                 raise TypeError(
-                    "plan_cache, ledger and semantic_cache are configured "
-                    "on the shared Engine; do not pass them again"
+                    "plan_cache, ledger, semantic_cache and sharding are "
+                    "configured on the shared Engine; do not pass them again"
                 )
             self.engine = source
         elif isinstance(source, (SegmentDataset, Environment)):
@@ -634,6 +654,7 @@ class Session:
                 plan_cache=plan_cache,
                 ledger=ledger,
                 semantic_cache=semantic_cache,
+                sharding=sharding,
             )
         else:
             raise TypeError(

@@ -326,12 +326,20 @@ def _nn_phases_batch(
     """
     tree = env.tree
     costs = env.dataset.costs
-    node_bytes = tree.node_bytes_array()
+    # A shard store, when attached, is the traversal source: same search,
+    # same tallies, but leaf-level reads go through residency-bounded
+    # shards instead of the monolithic tree (see repro.core.shardstore).
+    store = getattr(env, "shard_store", None)
+    node_bytes = (tree if store is None else store).node_bytes_array()
     seg_bytes = costs.segment_record_bytes
     px = np.array([q.x for q in queries], dtype=np.float64)
     py = np.array([q.y for q in queries], dtype=np.float64)
     ks = np.array([getattr(q, "k", 1) for q in queries], dtype=np.int64)
-    nn = batch_nearest(tree, px, py, ks)
+    nn = (
+        batch_nearest(tree, px, py, ks)
+        if store is None
+        else store.batch_nearest(px, py, ks)
+    )
     # One vectorized pass over the engine's flat visit/refine log; the
     # per-query trace arrays below are views into these.
     ends = nn.log_ends
@@ -492,7 +500,12 @@ def _compute_phases(env: Environment, todo: Dict[tuple, Query]) -> Dict[tuple, Q
             qx0[i] = qx1[i] = px[i] = q.x
             qy0[i] = qy1[i] = py[i] = q.y
             eps[i] = q.eps
-    res = batch_filter(tree, qx0, qy0, qx1, qy1)
+    store = getattr(env, "shard_store", None)
+    res = (
+        batch_filter(tree, qx0, qy0, qx1, qy1)
+        if store is None
+        else store.batch_filter(qx0, qy0, qx1, qy1)
+    )
 
     # Bulk refinement: every query's candidates in one call per predicate.
     cand = res.cand_ids
@@ -518,7 +531,7 @@ def _compute_phases(env: Environment, todo: Dict[tuple, Query]) -> Dict[tuple, Q
             px[qq], py[qq], x1[sel], y1[sel], x2[sel], y2[sel], eps[qq],
         )
 
-    node_bytes = tree.node_bytes_array()
+    node_bytes = (tree if store is None else store).node_bytes_array()
     for i, (k, q) in enumerate(zip(pr_keys, pr_queries)):
         o0, o1 = int(res.cand_offsets[i]), int(res.cand_offsets[i + 1])
         c_ids = cand[o0:o1]

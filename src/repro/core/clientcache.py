@@ -46,6 +46,7 @@ from repro.core.messages import (
 )
 from repro.core.queries import PointQuery, Query, QueryKind, RangeQuery
 from repro.core.schemes import Scheme, SchemeConfig
+from repro.core.shardstore import materialize_entry_range
 from repro.data.model import SegmentDataset
 from repro.sim.trace import OpCounter
 from repro.spatial.extract import coverage_rect, extract_range
@@ -239,14 +240,21 @@ class ClientCacheSession:
         )
         server_cost = env.server_cpu.compute(server_counter)
 
-        # Install the shipment as the client's new (only) cached region.
-        sub = env.dataset.subset(extraction.global_ids, name=f"{env.dataset.name}-cache")
-        sub_tree = PackedRTree.build(sub, node_capacity=env.tree.node_capacity)
+        # Install the shipment as the client's new (only) cached region —
+        # one dynamically-bounded Hilbert shard, materialized by the same
+        # routine the shard store uses (the client's memory budget *is*
+        # a one-shard residency budget).
+        shard = materialize_entry_range(
+            env.tree,
+            extraction.entry_lo,
+            extraction.entry_hi,
+            name=f"{env.dataset.name}-cache",
+        )
         self.region = CachedRegion(
-            sub_dataset=sub,
-            sub_tree=sub_tree,
-            sub_engine=QueryEngine(sub, sub_tree),
-            global_ids=extraction.global_ids,
+            sub_dataset=shard.dataset,
+            sub_tree=shard.tree,
+            sub_engine=QueryEngine(shard.dataset, shard.tree),
+            global_ids=shard.global_ids,
             coverage=coverage,
             total_bytes=extraction.total_bytes,
             entry_lo=extraction.entry_lo,

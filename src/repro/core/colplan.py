@@ -482,12 +482,15 @@ def compute_query_phases_sharded(
     keys out over a fork pool is exact, not approximate.  Cache *replay*
     stays in the caller's process (cache state is order-dependent across
     the workload).  Falls back to the serial path when ``processes`` is
-    unset, the workload is too small to split, or fork is unavailable.
+    unset, the workload is too small to split, fork is unavailable, or the
+    environment carries a shard store (its residency LRU and pruning
+    counters live in this process; fork children could not report back).
     """
     if (
         not processes
         or processes <= 1
         or len(queries) < 2 * processes
+        or getattr(env, "shard_store", None) is not None
         or "fork" not in multiprocessing.get_all_start_methods()
     ):
         return compute_query_phases(env, queries, cache)

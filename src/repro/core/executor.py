@@ -160,6 +160,10 @@ class Environment:
     engine: QueryEngine
     client_cpu: ClientCPU
     server_cpu: ServerCPU
+    #: Optional residency-bounded traversal source (repro.core.shardstore).
+    #: When set, the batched/columnar planners route index reads through it
+    #: instead of the monolithic tree; plans stay bit-identical.
+    shard_store: Optional[object] = None
 
     @classmethod
     def create(

@@ -859,7 +859,11 @@ class RunLedger:
     ``plan``
         One workload planned: ``dataset``, ``scheme``, ``n_queries``,
         ``seconds``, ``cache_hit``, ``cache_hits``, ``cache_misses``,
-        ``cache_hit_rate``.
+        ``cache_hit_rate``.  When the environment carries a shard store
+        (:class:`repro.core.shardstore.ShardStore`) additionally the
+        per-call residency window: ``shards_total``, ``shards_touched``,
+        ``shards_pruned``, ``shards_resident``, ``shard_loads``,
+        ``shard_evictions``, ``shard_spills``.
     ``price``
         One grid priced: ``engine`` (batched/scalar), ``n_plans``,
         ``n_policies``, ``seconds``.

@@ -638,7 +638,7 @@ class NaiveSemanticCache:
 # Semantic phase computation
 # ----------------------------------------------------------------------
 def _pruned_source(
-    tree, entry: CacheEntry, rect: Tuple[float, float, float, float]
+    src, entry: CacheEntry, rect: Tuple[float, float, float, float]
 ) -> Tuple[np.ndarray, np.ndarray, int, np.ndarray]:
     """Exact block-pruned superset of ``entry``'s candidates inside ``rect``.
 
@@ -647,6 +647,10 @@ def _pruned_source(
     blocks can never drop a candidate of ``rect`` — the survivor set is
     still a superset that the leaf predicate then masks exactly.  Sources
     at or below one block are returned whole (no pruning pass to charge).
+
+    ``src`` is the traversal source — the packed tree or a shard store —
+    consumed through the shared ``entry_mbrs`` gather, whose values are
+    bit-identical either way.
     """
     P, I = entry.positions, entry.ids
     n = int(P.size)
@@ -654,12 +658,13 @@ def _pruned_source(
         return P, I, 0, _EMPTY_POS
     if entry.blocks is None:
         starts = np.arange(0, n, _BLOCK, dtype=np.int64)
+        ex0, ey0, ex1, ey1 = src.entry_mbrs(P)
         entry.blocks = (
             P[starts],
-            np.minimum.reduceat(tree.entry_xmin[P], starts),
-            np.minimum.reduceat(tree.entry_ymin[P], starts),
-            np.maximum.reduceat(tree.entry_xmax[P], starts),
-            np.maximum.reduceat(tree.entry_ymax[P], starts),
+            np.minimum.reduceat(ex0, starts),
+            np.minimum.reduceat(ey0, starts),
+            np.maximum.reduceat(ex1, starts),
+            np.maximum.reduceat(ey1, starts),
         )
     bpos, bx0, by0, bx1, by1 = entry.blocks
     xmin, ymin, xmax, ymax = rect
@@ -674,21 +679,18 @@ def _pruned_source(
 
 
 def _window_mask(
-    tree, positions: np.ndarray, rect: Tuple[float, float, float, float]
+    src, positions: np.ndarray, rect: Tuple[float, float, float, float]
 ) -> np.ndarray:
     """The traversal's leaf-entry predicate over packed positions.
 
     Term for term the test :func:`~repro.spatial.batchtraverse.batch_filter`
     applies at the leaf frontier, so masking a candidate superset with it
-    reproduces a fresh traversal's candidate set exactly.
+    reproduces a fresh traversal's candidate set exactly.  ``src`` is the
+    packed tree or a shard store (same ``entry_mbrs`` values either way).
     """
     xmin, ymin, xmax, ymax = rect
-    return (
-        (tree.entry_xmin[positions] <= xmax)
-        & (tree.entry_xmax[positions] >= xmin)
-        & (tree.entry_ymin[positions] <= ymax)
-        & (tree.entry_ymax[positions] >= ymin)
-    )
+    ex0, ey0, ex1, ey1 = src.entry_mbrs(positions)
+    return (ex0 <= xmax) & (ex1 >= xmin) & (ey0 <= ymax) & (ey1 >= ymin)
 
 
 def compute_query_phases_semantic(
@@ -716,6 +718,8 @@ def compute_query_phases_semantic(
     cache.bind(env.dataset)
     ds = env.dataset
     tree = env.tree
+    store = getattr(env, "shard_store", None)
+    src = tree if store is None else store
     costs = ds.costs
     n = len(queries)
     out: List[Optional[QueryPhases]] = [None] * n
@@ -754,12 +758,16 @@ def compute_query_phases_semantic(
         pend.append((rect, verdict, mode, sources, own))
 
     # Pass 2 — one batched traversal over the misses only.
-    node_bytes = tree.node_bytes_array()
+    node_bytes = src.node_bytes_array()
     trav = None
     miss_rank: Dict[int, int] = {}
     if miss_j:
         arr = np.array([pend[j][0] for j in miss_j], dtype=np.float64)
-        trav = batch_filter(tree, arr[:, 0], arr[:, 1], arr[:, 2], arr[:, 3])
+        trav = (
+            batch_filter(tree, arr[:, 0], arr[:, 1], arr[:, 2], arr[:, 3])
+            if store is None
+            else store.batch_filter(arr[:, 0], arr[:, 1], arr[:, 2], arr[:, 3])
+        )
         cache.nodes_visited += int(trav.visited.size)
         for t, j in enumerate(miss_j):
             miss_rank[j] = t
@@ -776,7 +784,7 @@ def compute_query_phases_semantic(
     for j, (rect, verdict, mode, sources, own) in enumerate(pend):
         if verdict != "refine":
             continue
-        pruned = [_pruned_source(tree, s, rect) for s in sources]
+        pruned = [_pruned_source(src, s, rect) for s in sources]
         n_blocks = sum(p[2] for p in pruned)
         block_pos = np.concatenate([p[3] for p in pruned])
         if mode == "contain" and len(sources) == 2:
@@ -787,7 +795,7 @@ def compute_query_phases_semantic(
             P, I = union_candidates([(p[0], p[1]) for p in pruned])
         else:
             P, I = pruned[0][0], pruned[0][1]
-        keep = _window_mask(tree, P, rect)
+        keep = _window_mask(src, P, rect)
         own.positions = P[keep]
         own.ids = I[keep]
         tested[j] = (P, n_blocks, block_pos)

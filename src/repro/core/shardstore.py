@@ -1,0 +1,817 @@
+"""Bounded-residency Hilbert key-range shard store with plan-time pruning.
+
+The service's master index (:class:`~repro.spatial.rtree.PackedRTree`) is
+built over the whole dataset; for out-of-core operation the *working set*
+must be far smaller.  This module splits the packed entry order into
+contiguous Hilbert key-range shards (equi-count cuts over the bulk sort
+keys, snapped to ``capacity**2`` so every leaf and every level-1 subtree
+belongs to exactly one shard) and materializes each shard's data lazily —
+its per-entry MBR columns and leaf-node MBRs, recomputed from the dataset
+columns with the exact reduceat grouping of the bulk load, so they are
+bit-identical to the monolithic tree's — behind a byte-budgeted LRU.
+
+What stays resident unconditionally is only the *spine*: the internal-node
+directory (levels >= 1 MBRs, child offsets, levels, the entry-id
+permutation and the sorted keys).  Leaf-node MBR rows of the spine copy
+are poisoned to NaN, so any traversal that forgets to route a leaf-level
+read through a shard fails every MBR test and is caught by the
+differential oracles rather than silently reading monolithic state.
+
+Traversal is the exact twin of the unsharded engines:
+
+* :meth:`ShardStore.batch_filter` replays
+  :func:`repro.spatial.batchtraverse.batch_filter` level by level — spine
+  MBRs above the leaves, shard-gathered leaf and entry MBRs below — and
+  re-sorts with the same total-order keys, so visited nodes, candidate
+  sets, and tallies are bit-identical per query.
+* :meth:`ShardStore.batch_nearest` runs the scalar Roussopoulos loop of
+  :meth:`~repro.spatial.rtree.PackedRTree.nearest_neighbors` per query
+  (same heap discipline, tiebreaks, and visit/refine log) with
+  shard-resident MBR slices, folding results into the same
+  :class:`~repro.spatial.batchnn.BatchNNResult` shape the planner prices.
+
+Shards whose subtrees survive no MBR test are never materialized, never
+visited, never charged — that is the plan-time pruning the ledger's
+``shards_pruned`` metric reports.  The window→key-range decomposition
+(:mod:`repro.spatial.shard`) bounds each query's shard reach *before*
+traversal: residency admission rejects (or, with ``on_overflow="spill"``,
+LRU-spills) queries whose decomposed ranges overlap more shard bytes than
+the budget holds.  Gathers run shard-at-a-time, so the hard concurrency
+requirement is a single resident shard regardless of batch shape.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import bisect_right
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.spatial import vecgeom
+from repro.spatial.batchnn import BatchNNResult, _SearchState, _drain, _finalize
+from repro.spatial.batchtraverse import BatchFilterResult, _csr_offsets
+from repro.spatial.hilbert import DEFAULT_ORDER, hilbert_sort_keys
+from repro.spatial.rtree import PackedRTree
+from repro.spatial.shard import (
+    DEFAULT_PRUNE_ORDER,
+    equi_count_boundaries,
+    ranges_overlap_shards,
+    window_shard_ranges,
+)
+
+__all__ = [
+    "ShardConfig",
+    "ShardResidencyError",
+    "ShardStore",
+    "ShardRegion",
+    "materialize_entry_range",
+]
+
+#: Residency-overflow behaviors: fail fast, or let the LRU spill.
+OVERFLOW_MODES = ("error", "spill")
+
+
+class ShardResidencyError(RuntimeError):
+    """A query's key ranges demand more shard bytes than the budget holds.
+
+    Raised at admission (before any traversal work) when
+    ``on_overflow="error"``: serving the query would force the residency
+    LRU to thrash through more shards than fit concurrently.  The explicit
+    fallback is ``ShardConfig(on_overflow="spill")``, which serves the
+    query anyway — bit-identical answers, shard-at-a-time residency — at
+    the cost of reload churn the ledger's ``shard_evictions`` records.
+    """
+
+    def __init__(self, n_shards: int, needed_bytes: int, budget_bytes: int) -> None:
+        self.n_shards = n_shards
+        self.needed_bytes = needed_bytes
+        self.budget_bytes = budget_bytes
+        super().__init__(
+            f"query key ranges overlap {n_shards} shards "
+            f"({needed_bytes} bytes) but the residency budget is "
+            f"{budget_bytes} bytes; raise budget_bytes, lower n_shards, or "
+            f"set ShardConfig(on_overflow='spill') to serve it anyway"
+        )
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Validated keyword config for :class:`ShardStore`.
+
+    ``n_shards`` is the target equi-count shard count (the realized count
+    can be lower on small datasets — cuts snap to the packing alignment);
+    ``budget_bytes`` bounds resident shard bytes (``None`` = unbounded);
+    ``on_overflow`` picks the admission behavior when one query's key
+    ranges exceed the budget; ``prune_order`` is the Hilbert order of the
+    window→key-range decomposition used for admission and reporting.
+    """
+
+    n_shards: int = 16
+    budget_bytes: Optional[int] = None
+    on_overflow: str = "error"
+    prune_order: int = DEFAULT_PRUNE_ORDER
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.n_shards, int) or self.n_shards < 1:
+            raise ValueError(
+                f"n_shards must be an int >= 1, got {self.n_shards!r}"
+            )
+        if self.budget_bytes is not None and (
+            not isinstance(self.budget_bytes, int) or self.budget_bytes < 1
+        ):
+            raise ValueError(
+                f"budget_bytes must be an int >= 1 or None, got "
+                f"{self.budget_bytes!r}"
+            )
+        if self.on_overflow not in OVERFLOW_MODES:
+            raise ValueError(
+                f"on_overflow must be one of {OVERFLOW_MODES}, got "
+                f"{self.on_overflow!r}"
+            )
+        if not isinstance(self.prune_order, int) or not (
+            1 <= self.prune_order <= 31
+        ):
+            raise ValueError(
+                f"prune_order must be an int in [1, 31], got "
+                f"{self.prune_order!r}"
+            )
+
+
+@dataclass
+class _Shard:
+    """One materialized shard: entry MBR columns + its leaf-node MBRs."""
+
+    sid: int
+    entry_lo: int
+    entry_hi: int
+    leaf_lo: int
+    leaf_hi: int
+    entry_xmin: np.ndarray
+    entry_ymin: np.ndarray
+    entry_xmax: np.ndarray
+    entry_ymax: np.ndarray
+    leaf_xmin: np.ndarray
+    leaf_ymin: np.ndarray
+    leaf_xmax: np.ndarray
+    leaf_ymax: np.ndarray
+    nbytes: int
+
+
+class ShardStore:
+    """Lazy Hilbert key-range shards over one packed tree's entry order.
+
+    Build with :meth:`from_tree`; attach to an environment as
+    ``env.shard_store`` (the planners dispatch on that attribute).  The
+    store is a *traversal source*: it mirrors the tree-facing surface the
+    batched planners consume (``batch_filter``-shaped traversal,
+    ``batch_nearest``-shaped search, ``node_bytes_array``, ``entry_mbrs``,
+    ``entry_span_start``, ``entry_ids``) while holding only the internal
+    spine plus a bounded LRU of materialized shards.
+    """
+
+    def __init__(
+        self,
+        tree: PackedRTree,
+        config: ShardConfig,
+        hilbert_order: int = DEFAULT_ORDER,
+    ) -> None:
+        if not isinstance(config, ShardConfig):
+            raise TypeError(
+                f"config must be a ShardConfig, got {type(config).__name__}"
+            )
+        self.config = config
+        self.dataset = tree.dataset
+        self.costs = tree.costs
+        self.node_capacity = int(tree.node_capacity)
+        self.root = tree.root
+        self.node_count = tree.node_count
+        self.n_entries = int(tree.entry_ids.size)
+        self.n_leaves = int(np.count_nonzero(tree.node_level == 0))
+        # Directory (integer structure): shared with the tree, immutable.
+        self.entry_ids = tree.entry_ids
+        self.node_level = tree.node_level
+        self.node_child_start = tree.node_child_start
+        self.node_child_count = tree.node_child_count
+        self._span_start = tree.entry_span_start()
+        # Spine MBRs: copies with the leaf rows poisoned — a leaf-level
+        # read that bypasses shard materialization fails every MBR test.
+        self.spine_xmin = tree.node_xmin.copy()
+        self.spine_ymin = tree.node_ymin.copy()
+        self.spine_xmax = tree.node_xmax.copy()
+        self.spine_ymax = tree.node_ymax.copy()
+        leaf_rows = slice(0, self.n_leaves)
+        self.spine_xmin[leaf_rows] = np.nan
+        self.spine_ymin[leaf_rows] = np.nan
+        self.spine_xmax[leaf_rows] = np.nan
+        self.spine_ymax[leaf_rows] = np.nan
+
+        # Shard boundaries: equi-count cuts snapped to capacity**2 entries,
+        # so each leaf and each level-1 subtree lives in exactly one shard.
+        self.hilbert_order = hilbert_order
+        self.extent = self.dataset.extent
+        cx, cy = self.dataset.centers()
+        self.keys_sorted = hilbert_sort_keys(
+            cx, cy, self.extent, order=hilbert_order
+        )[self.entry_ids]
+        align = self.node_capacity * self.node_capacity
+        self.bounds = equi_count_boundaries(
+            self.n_entries, config.n_shards, align
+        )
+        # Interior cuts are capacity-aligned so floor division is exact;
+        # the final boundary covers the (possibly partial) last leaf.
+        self.leaf_bounds = self.bounds // self.node_capacity
+        self.leaf_bounds[-1] = self.n_leaves
+        # Python-list twins of the boundary arrays: the gathers' hot path
+        # maps only a range's two endpoints to shards, where bisect beats
+        # a vectorized searchsorted by an order of magnitude.
+        self._bounds_list = self.bounds.tolist()
+        self._leaf_bounds_list = self.leaf_bounds.tolist()
+        self.shard_key_lo = self.keys_sorted[self.bounds[:-1]]
+        self.shard_key_hi = self.keys_sorted[self.bounds[1:] - 1]
+
+        self._shard_nbytes = np.array(
+            [self._model_bytes(s) for s in range(self.n_shards)], dtype=np.int64
+        )
+        budget = config.budget_bytes
+        if budget is not None and int(self._shard_nbytes.max()) > budget:
+            raise ValueError(
+                f"budget_bytes={budget} cannot hold the largest shard "
+                f"({int(self._shard_nbytes.max())} bytes); raise the budget "
+                f"or increase n_shards"
+            )
+
+        self._resident: "OrderedDict[int, _Shard]" = OrderedDict()
+        self._resident_bytes = 0
+        self._range_memo: Dict[tuple, np.ndarray] = {}
+        # Per-planning-call stats window (drained by take_stats) plus
+        # lifetime counters for service-level reports.
+        self._win_touched: set = set()
+        self._win_loads = 0
+        self._win_evictions = 0
+        self._win_spills = 0
+        self._life_touched: set = set()
+        self._life_loads = 0
+        self._life_evictions = 0
+        self._life_spills = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_tree(
+        cls,
+        tree: PackedRTree,
+        config: ShardConfig,
+        hilbert_order: int = DEFAULT_ORDER,
+    ) -> "ShardStore":
+        """The store over ``tree``'s packed entry order (see class docs)."""
+        return cls(tree, config, hilbert_order)
+
+    @property
+    def n_shards(self) -> int:
+        """Realized shard count (may be below ``config.n_shards``)."""
+        return len(self.bounds) - 1
+
+    def shard_bytes(self, sid: int) -> int:
+        """Model bytes of one shard (segment records + leaf-level index)."""
+        return int(self._shard_nbytes[sid])
+
+    def _model_bytes(self, sid: int) -> int:
+        n_e = int(self.bounds[sid + 1] - self.bounds[sid])
+        n_l = int(self.leaf_bounds[sid + 1] - self.leaf_bounds[sid])
+        return (
+            n_e * self.costs.segment_record_bytes
+            + n_e * self.costs.index_entry_bytes
+            + n_l * self.costs.index_node_header_bytes
+        )
+
+    # ------------------------------------------------------------------
+    # Residency
+    # ------------------------------------------------------------------
+    def shard_of_entries(self, positions: np.ndarray) -> np.ndarray:
+        """Owning shard id of each packed entry position."""
+        return (
+            np.searchsorted(self.bounds, positions, side="right") - 1
+        ).astype(np.int64)
+
+    def shard_of_leaves(self, leaf_ids: np.ndarray) -> np.ndarray:
+        """Owning shard id of each leaf node id."""
+        return (
+            np.searchsorted(self.leaf_bounds, leaf_ids, side="right") - 1
+        ).astype(np.int64)
+
+    def _materialize(self, sid: int) -> _Shard:
+        """The shard, loading it (and LRU-evicting past budget) if needed."""
+        self._win_touched.add(sid)
+        self._life_touched.add(sid)
+        sh = self._resident.get(sid)
+        if sh is not None:
+            self._resident.move_to_end(sid)
+            return sh
+        lo = int(self.bounds[sid])
+        hi = int(self.bounds[sid + 1])
+        ids = self.entry_ids[lo:hi]
+        ds = self.dataset
+        # Same operands, same order as the bulk load: the min/max pairs
+        # and the cap-aligned reduceat groups reproduce the monolithic
+        # entry and leaf MBRs bit for bit.
+        ex1 = ds.x1[ids]
+        ey1 = ds.y1[ids]
+        ex2 = ds.x2[ids]
+        ey2 = ds.y2[ids]
+        entry_xmin = np.minimum(ex1, ex2)
+        entry_xmax = np.maximum(ex1, ex2)
+        entry_ymin = np.minimum(ey1, ey2)
+        entry_ymax = np.maximum(ey1, ey2)
+        starts = np.arange(0, hi - lo, self.node_capacity)
+        sh = _Shard(
+            sid=sid,
+            entry_lo=lo,
+            entry_hi=hi,
+            leaf_lo=int(self.leaf_bounds[sid]),
+            leaf_hi=int(self.leaf_bounds[sid + 1]),
+            entry_xmin=entry_xmin,
+            entry_ymin=entry_ymin,
+            entry_xmax=entry_xmax,
+            entry_ymax=entry_ymax,
+            leaf_xmin=np.minimum.reduceat(entry_xmin, starts),
+            leaf_ymin=np.minimum.reduceat(entry_ymin, starts),
+            leaf_xmax=np.maximum.reduceat(entry_xmax, starts),
+            leaf_ymax=np.maximum.reduceat(entry_ymax, starts),
+            nbytes=self.shard_bytes(sid),
+        )
+        self._resident[sid] = sh
+        self._resident_bytes += sh.nbytes
+        self._win_loads += 1
+        self._life_loads += 1
+        budget = self.config.budget_bytes
+        if budget is not None:
+            while self._resident_bytes > budget and len(self._resident) > 1:
+                _, old = self._resident.popitem(last=False)
+                self._resident_bytes -= old.nbytes
+                self._win_evictions += 1
+                self._life_evictions += 1
+        return sh
+
+    def query_shards(
+        self, xmin: float, ymin: float, xmax: float, ymax: float
+    ) -> np.ndarray:
+        """Shards whose key span meets the window's decomposed key ranges.
+
+        The plan-time shard bound: a superset of the shards the exact
+        MBR-driven traversal can reach through *key-local* subtrees.
+        Memoized per window — the locality workloads repeat windows.
+        """
+        key = (xmin, ymin, xmax, ymax)
+        hit = self._range_memo.get(key)
+        if hit is None:
+            ranges = window_shard_ranges(
+                self.extent, self.hilbert_order,
+                xmin, ymin, xmax, ymax,
+                self.config.prune_order,
+            )
+            hit = ranges_overlap_shards(
+                ranges, self.shard_key_lo, self.shard_key_hi
+            )
+            if len(self._range_memo) >= 8192:
+                self._range_memo.clear()
+            self._range_memo[key] = hit
+        return hit
+
+    def _admit_windows(
+        self,
+        qxmin: np.ndarray,
+        qymin: np.ndarray,
+        qxmax: np.ndarray,
+        qymax: np.ndarray,
+    ) -> None:
+        """Residency admission: per query, do its shard bytes fit the budget?
+
+        ``on_overflow="error"`` raises :class:`ShardResidencyError` before
+        any traversal work; ``"spill"`` records the overflow and proceeds
+        (gathers run shard-at-a-time, so the query is still served with at
+        most one shard resident beyond the LRU's budget line).
+        """
+        budget = self.config.budget_bytes
+        if budget is None:
+            return
+        for i in range(qxmin.size):
+            shards = self.query_shards(
+                float(qxmin[i]), float(qymin[i]),
+                float(qxmax[i]), float(qymax[i]),
+            )
+            needed = int(self._shard_nbytes[shards].sum())
+            if needed > budget:
+                if self.config.on_overflow == "error":
+                    raise ShardResidencyError(int(shards.size), needed, budget)
+                self._win_spills += 1
+                self._life_spills += 1
+
+    # ------------------------------------------------------------------
+    # Tree-facing surface (what the planners consume)
+    # ------------------------------------------------------------------
+    def node_bytes_array(self) -> np.ndarray:
+        """Per-node stored sizes; equals the tree's (directory arithmetic)."""
+        sizes = getattr(self, "_node_bytes_array", None)
+        if sizes is None:
+            sizes = (
+                self.costs.index_node_header_bytes
+                + self.node_child_count.astype(np.int64)
+                * self.costs.index_entry_bytes
+            )
+            self._node_bytes_array = sizes
+        return sizes
+
+    def entry_span_start(self) -> np.ndarray:
+        """Per-node first packed entry position (the tree's, shared)."""
+        return self._span_start
+
+    def entry_mbrs(
+        self, positions: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Entry MBR columns gathered for packed ``positions``, shard-at-a-time.
+
+        The shard-store counterpart of indexing the tree's
+        ``entry_xmin``/... columns: identical values (shards recompute the
+        same floats), identical alignment with ``positions``, but routed
+        through residency — each owning shard is materialized, gathered
+        from, and only then is the next one loaded.
+        """
+        positions = np.asarray(positions, dtype=np.int64)
+        if not positions.size:
+            e = np.empty(0, dtype=np.float64)
+            return e, e.copy(), e.copy(), e.copy()
+        # A single-shard gather (the common case under locality) is
+        # decided from the two endpoint positions alone: index that
+        # shard's columns directly, no per-position shard map, no scatter.
+        lo_sid = bisect_right(self._bounds_list, int(positions.min())) - 1
+        hi_sid = bisect_right(self._bounds_list, int(positions.max())) - 1
+        if lo_sid == hi_sid:
+            sh = self._materialize(lo_sid)
+            loc = positions - sh.entry_lo
+            return (
+                sh.entry_xmin[loc],
+                sh.entry_ymin[loc],
+                sh.entry_xmax[loc],
+                sh.entry_ymax[loc],
+            )
+        sids = self.shard_of_entries(positions)
+        x0 = np.empty(positions.size, dtype=np.float64)
+        y0 = np.empty(positions.size, dtype=np.float64)
+        x1 = np.empty(positions.size, dtype=np.float64)
+        y1 = np.empty(positions.size, dtype=np.float64)
+        for sid in np.unique(sids).tolist():
+            sh = self._materialize(int(sid))
+            m = sids == sid
+            loc = positions[m] - sh.entry_lo
+            x0[m] = sh.entry_xmin[loc]
+            y0[m] = sh.entry_ymin[loc]
+            x1[m] = sh.entry_xmax[loc]
+            y1[m] = sh.entry_ymax[loc]
+        return x0, y0, x1, y1
+
+    def _leaf_mbrs(
+        self, leaf_ids: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Leaf-node MBR columns gathered for ``leaf_ids``, shard-at-a-time."""
+        if not leaf_ids.size:
+            e = np.empty(0, dtype=np.float64)
+            return e, e.copy(), e.copy(), e.copy()
+        lo_sid = bisect_right(self._leaf_bounds_list, int(leaf_ids.min())) - 1
+        hi_sid = bisect_right(self._leaf_bounds_list, int(leaf_ids.max())) - 1
+        if lo_sid == hi_sid:
+            sh = self._materialize(lo_sid)
+            loc = leaf_ids - sh.leaf_lo
+            return (
+                sh.leaf_xmin[loc],
+                sh.leaf_ymin[loc],
+                sh.leaf_xmax[loc],
+                sh.leaf_ymax[loc],
+            )
+        sids = self.shard_of_leaves(leaf_ids)
+        x0 = np.empty(leaf_ids.size, dtype=np.float64)
+        y0 = np.empty(leaf_ids.size, dtype=np.float64)
+        x1 = np.empty(leaf_ids.size, dtype=np.float64)
+        y1 = np.empty(leaf_ids.size, dtype=np.float64)
+        for sid in np.unique(sids).tolist():
+            sh = self._materialize(int(sid))
+            m = sids == sid
+            loc = leaf_ids[m] - sh.leaf_lo
+            x0[m] = sh.leaf_xmin[loc]
+            y0[m] = sh.leaf_ymin[loc]
+            x1[m] = sh.leaf_xmax[loc]
+            y1[m] = sh.leaf_ymax[loc]
+        return x0, y0, x1, y1
+
+    # ------------------------------------------------------------------
+    # Batched window/point filtering (twin of batchtraverse.batch_filter)
+    # ------------------------------------------------------------------
+    def batch_filter(
+        self,
+        qxmin: np.ndarray,
+        qymin: np.ndarray,
+        qxmax: np.ndarray,
+        qymax: np.ndarray,
+    ) -> BatchFilterResult:
+        """Level-synchronous filter over the sharded index, bit-identical.
+
+        The same frontier algorithm as
+        :func:`repro.spatial.batchtraverse.batch_filter`: internal levels
+        test spine MBRs, the level-1 expansion tests shard-gathered leaf
+        MBRs, the leaf frontier tests shard-gathered entry MBRs, and the
+        same total-order lexsorts recover scalar DFS preorder — so the
+        result is bit-for-bit the unsharded traversal's, while untouched
+        shards stay unmaterialized.
+        """
+        qxmin = np.asarray(qxmin, dtype=np.float64)
+        qymin = np.asarray(qymin, dtype=np.float64)
+        qxmax = np.asarray(qxmax, dtype=np.float64)
+        qymax = np.asarray(qymax, dtype=np.float64)
+        nq = len(qxmin)
+        empty_i64 = np.empty(0, dtype=np.int64)
+        if nq == 0:
+            z = np.zeros(1, dtype=np.int64)
+            return BatchFilterResult(
+                visited=empty_i64, visited_offsets=z,
+                cand_positions=empty_i64, cand_ids=empty_i64, cand_offsets=z,
+                mbr_tests=empty_i64,
+            )
+        self._admit_windows(qxmin, qymin, qxmax, qymax)
+
+        fq = np.arange(nq, dtype=np.int64)
+        fn = np.full(nq, self.root, dtype=np.int64)
+        vq_parts = [fq]
+        vn_parts = [fn]
+        cand_q = empty_i64
+        cand_pos = empty_i64
+        while fn.size:
+            counts = self.node_child_count[fn].astype(np.int64)
+            starts = self.node_child_start[fn].astype(np.int64)
+            total = int(counts.sum())
+            run_starts = np.cumsum(counts) - counts
+            child = np.repeat(starts - run_starts, counts) + np.arange(
+                total, dtype=np.int64
+            )
+            cq = np.repeat(fq, counts)
+            level = int(self.node_level[fn[0]])
+            if level == 0:
+                # Leaf frontier: children are packed entry positions.
+                ex0, ey0, ex1, ey1 = self.entry_mbrs(child)
+                hit = (
+                    (ex0 <= qxmax[cq])
+                    & (ex1 >= qxmin[cq])
+                    & (ey0 <= qymax[cq])
+                    & (ey1 >= qymin[cq])
+                )
+                cand_q = cq[hit]
+                cand_pos = child[hit]
+                break
+            if level == 1:
+                # Children are leaves: their MBRs live in the owning shards
+                # (the spine's leaf rows are NaN-poisoned on purpose).
+                nx0, ny0, nx1, ny1 = self._leaf_mbrs(child)
+            else:
+                nx0 = self.spine_xmin[child]
+                ny0 = self.spine_ymin[child]
+                nx1 = self.spine_xmax[child]
+                ny1 = self.spine_ymax[child]
+            hit = (
+                (nx0 <= qxmax[cq])
+                & (nx1 >= qxmin[cq])
+                & (ny0 <= qymax[cq])
+                & (ny1 >= qymin[cq])
+            )
+            fq = cq[hit]
+            fn = child[hit]
+            vq_parts.append(fq)
+            vn_parts.append(fn)
+
+        vq = np.concatenate(vq_parts)
+        vn = np.concatenate(vn_parts)
+        mbr_tests = np.bincount(
+            vq, weights=self.node_child_count[vn], minlength=nq
+        ).astype(np.int64)
+
+        spans = self.entry_span_start()
+        order = np.lexsort(
+            (-self.node_level[vn].astype(np.int64), spans[vn], vq)
+        )
+        visited = vn[order]
+        visited_offsets = _csr_offsets(vq, nq)
+
+        order = np.lexsort((cand_pos, cand_q))
+        cand_q = cand_q[order]
+        cand_pos = cand_pos[order]
+        return BatchFilterResult(
+            visited=visited,
+            visited_offsets=visited_offsets,
+            cand_positions=cand_pos,
+            cand_ids=self.entry_ids[cand_pos],
+            cand_offsets=_csr_offsets(cand_q, nq),
+            mbr_tests=mbr_tests,
+        )
+
+    # ------------------------------------------------------------------
+    # Best-first NN/k-NN (twin of rtree.nearest_neighbors, batch shape)
+    # ------------------------------------------------------------------
+    def _expand_one(self, st: _SearchState, node: int) -> None:
+        """Expand one popped node against shard-resident MBR slices.
+
+        The scalar expansion of :meth:`PackedRTree.nearest_neighbors` with
+        the MBR reads rerouted: leaf entries and leaf-node children come
+        from the owning shard (one shard per node — boundaries are
+        ``capacity**2``-aligned), deeper internal children from the spine.
+        Heap discipline, tiebreak numbering, and the kept sets match the
+        scalar loop exactly.
+        """
+        s = int(self.node_child_start[node])
+        c = int(self.node_child_count[node])
+        st.mbr_tests += c
+        if c == 0:
+            return
+        kth = st.kth
+        level = int(self.node_level[node])
+        if level == 0:
+            sh = self._materialize(bisect_right(self._bounds_list, s) - 1)
+            lo = s - sh.entry_lo
+            sl = slice(lo, lo + c)
+            mind = vecgeom.mbr_mindist_sq(
+                st.px, st.py,
+                sh.entry_xmin[sl], sh.entry_ymin[sl],
+                sh.entry_xmax[sl], sh.entry_ymax[sl],
+            )
+            order = np.argsort(mind, kind="stable")
+            md_s = mind[order]
+            # The scalar loop pushes the sorted prefix and breaks at the
+            # first child past the bound (the bound is fixed while pushing).
+            n_keep = int(np.searchsorted(md_s, kth, side="right"))
+            if n_keep == 0:
+                return
+            ds = self.dataset
+            seg = self.entry_ids[s + order[:n_keep]]
+            d = vecgeom.point_segment_distance_sq(
+                st.px, st.py, ds.x1[seg], ds.y1[seg], ds.x2[seg], ds.y2[seg],
+            )
+            mds = md_s[:n_keep].tolist()
+            ids = seg.tolist()
+            aux: Optional[list] = d.tolist()
+            tbs = list(range(st.tb + 1, st.tb + 1 + n_keep))
+            is_leaf = True
+        else:
+            if level == 1:
+                sh = self._materialize(
+                    bisect_right(self._leaf_bounds_list, s) - 1
+                )
+                lo = s - sh.leaf_lo
+                sl = slice(lo, lo + c)
+                mind = vecgeom.mbr_mindist_sq(
+                    st.px, st.py,
+                    sh.leaf_xmin[sl], sh.leaf_ymin[sl],
+                    sh.leaf_xmax[sl], sh.leaf_ymax[sl],
+                )
+            else:
+                sl = slice(s, s + c)
+                mind = vecgeom.mbr_mindist_sq(
+                    st.px, st.py,
+                    self.spine_xmin[sl], self.spine_ymin[sl],
+                    self.spine_xmax[sl], self.spine_ymax[sl],
+                )
+            kept = np.nonzero(mind <= kth)[0]
+            n_keep = int(kept.size)
+            if n_keep == 0:
+                return
+            mk = mind[kept]
+            order = np.argsort(mk, kind="stable")
+            mds = mk[order].tolist()
+            ids = (kept[order] + s).tolist()
+            # Tiebreaks follow slice (push) order; the run is re-sorted by
+            # (mindist, tiebreak) — stable argsort keeps ties in push order.
+            base = st.tb + 1
+            tbs = [base + r for r in order.tolist()]
+            aux = None
+            is_leaf = False
+        ri = len(st.runs_md)
+        st.runs_md.append(mds)
+        st.runs_tb.append(tbs)
+        st.runs_id.append(ids)
+        st.runs_aux.append(aux)
+        st.runs_entry.append(is_leaf)
+        st.runs_pos.append(0)
+        heapq.heappush(st.rheap, (mds[0], tbs[0], ri))
+        st.tb += n_keep
+        st.heap_ops += n_keep
+
+    def batch_nearest(
+        self, px: np.ndarray, py: np.ndarray, ks: np.ndarray
+    ) -> BatchNNResult:
+        """Residency-bounded best-first search, scalar-identical per query.
+
+        Each query runs the exact scalar Roussopoulos loop (drain the
+        merge heap, expand one node, repeat) against shard-resident MBR
+        slices; the flat visit/refine log and tallies fold into the same
+        :class:`~repro.spatial.batchnn.BatchNNResult` the batched planner
+        prices.  An NN search's reach is adaptive, so admission does not
+        pre-bound it — each touched shard is loaded in turn and the LRU
+        spills past budget (at most one shard is required resident).
+        """
+        px = np.asarray(px, dtype=np.float64)
+        py = np.asarray(py, dtype=np.float64)
+        ks = np.asarray(ks, dtype=np.int64)
+        if not (px.shape == py.shape == ks.shape):
+            raise ValueError("px, py and ks must be aligned 1-d arrays")
+        if ks.size and int(ks.min()) < 1:
+            bad = int(ks[ks < 1][0])
+            raise ValueError(f"k must be >= 1, got {bad}")
+        root = self.root
+        states = [
+            _SearchState(float(px[i]), float(py[i]), int(ks[i]), root)
+            for i in range(px.size)
+        ]
+        for st in states:
+            node = _drain(st)
+            while node >= 0:
+                self._expand_one(st, node)
+                node = _drain(st)
+        return _finalize(states)
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+    def take_stats(self) -> Dict[str, int]:
+        """Pruning/residency stats since the last take (one planning call).
+
+        Drains the per-call window: ``shards_pruned`` counts shards no
+        gather touched during the window — never materialized, never
+        visited, never charged.
+        """
+        touched = len(self._win_touched)
+        out = {
+            "shards_total": self.n_shards,
+            "shards_touched": touched,
+            "shards_pruned": self.n_shards - touched,
+            "shards_resident": len(self._resident),
+            "shard_loads": self._win_loads,
+            "shard_evictions": self._win_evictions,
+            "shard_spills": self._win_spills,
+        }
+        self._win_touched.clear()
+        self._win_loads = 0
+        self._win_evictions = 0
+        self._win_spills = 0
+        return out
+
+    def stats_dict(self) -> Dict[str, int]:
+        """Lifetime stats (service-level reports; does not drain the window)."""
+        touched = len(self._life_touched)
+        return {
+            "shards_total": self.n_shards,
+            "shards_touched": touched,
+            "shards_pruned": self.n_shards - touched,
+            "shards_resident": len(self._resident),
+            "shard_loads": self._life_loads,
+            "shard_evictions": self._life_evictions,
+            "shard_spills": self._life_spills,
+            "resident_bytes": self._resident_bytes,
+            "budget_bytes": self.config.budget_bytes or 0,
+        }
+
+
+# ----------------------------------------------------------------------
+# Entry-range materialization (the insufficient-memory client's shard)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardRegion:
+    """One contiguous packed-entry range materialized as a standalone store."""
+
+    #: Master segment ids of the range, in packed (Hilbert) order.
+    global_ids: np.ndarray
+    #: The range's segments as a dataset (extent re-derived).
+    dataset: "object"
+    #: A packed R-tree bulk-loaded over just this range.
+    tree: PackedRTree
+
+
+def materialize_entry_range(
+    tree: PackedRTree, entry_lo: int, entry_hi: int, name: Optional[str] = None
+) -> ShardRegion:
+    """Materialize packed positions ``[entry_lo, entry_hi)`` as a shard.
+
+    This is the shard store's loading step generalized to an arbitrary
+    contiguous key range: subset the dataset by the range's (Hilbert-
+    ordered) master ids and bulk-load a packed tree over it.  The
+    insufficient-memory client (:mod:`repro.core.clientcache`) caches
+    exactly one such region — its memory budget *is* one dynamically-
+    bounded shard — so fig10's shipped subsets are ShardRegions.
+    """
+    if not (0 <= entry_lo < entry_hi <= tree.entry_ids.size):
+        raise ValueError(
+            f"entry range [{entry_lo}, {entry_hi}) outside "
+            f"[0, {tree.entry_ids.size})"
+        )
+    ids = tree.entry_ids[entry_lo:entry_hi].copy()
+    sub = tree.dataset.subset(
+        ids, name=name if name is not None else f"{tree.dataset.name}-shard"
+    )
+    sub_tree = PackedRTree.build(sub, node_capacity=tree.node_capacity)
+    return ShardRegion(global_ids=ids, dataset=sub, tree=sub_tree)

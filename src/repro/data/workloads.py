@@ -54,6 +54,7 @@ __all__ = [
     "QueryRequest",
     "client_fleet",
     "fleet_query_stream",
+    "oversized_dataset",
     "QUERY_KINDS",
     "DEFAULT_RUNS",
 ]
@@ -285,6 +286,57 @@ def locality_workload(
             win = MBR(x0, y0, x0 + w, y0 + h)
             out.append(RangeQuery(win))
     return out
+
+
+# ----------------------------------------------------------------------
+# Out-of-core datasets (the shard store's target scale)
+# ----------------------------------------------------------------------
+def oversized_dataset(
+    n_segments: int = 20_000, *, seed: int = 7, name: Optional[str] = None
+) -> SegmentDataset:
+    """A synthetic dataset sized to overflow a shard residency budget.
+
+    Scatters jittered street-grid towns across a wide extent and threads
+    wiggly roads between them (the TIGER generator's idiom, at arbitrary
+    cardinality), so the segment distribution is clustered the way the
+    shard store's equi-count Hilbert cuts expect.  Built for the
+    out-of-core differential tests: pick a
+    :class:`~repro.core.shardstore.ShardConfig` budget below the dataset's
+    total shard bytes and the residency LRU must evict mid-workload while
+    answers stay bit-identical.  Seed-deterministic.
+    """
+    if n_segments < 1:
+        raise ValueError(f"n_segments must be >= 1, got {n_segments}")
+    from repro.data.tiger import _assemble, _polyline, grid_town
+
+    rng = np.random.default_rng(seed)
+    span = 40_000.0  # meters; ~county-sized extent
+    n_towns = max(4, n_segments // 2_000)
+    centers = rng.uniform(-span / 2.0, span / 2.0, size=(n_towns, 2))
+    # One town's grid yields ~2*rows*cols segments; overshoot ~15% so the
+    # uniform trim in _assemble has slack.
+    per_town = max(1, math.ceil(n_segments * 1.15 / n_towns))
+    side = max(2, math.ceil(math.sqrt(per_town / 2.0)))
+    parts = []
+    for i in range(n_towns):
+        cx, cy = float(centers[i, 0]), float(centers[i, 1])
+        parts.append(
+            grid_town(
+                rng, cx, cy, side, side, cell=120.0,
+                angle=float(rng.uniform(0.0, math.pi / 2.0)),
+            )
+        )
+        nxt = centers[(i + 1) % n_towns]
+        parts.append(
+            _polyline(
+                rng, cx, cy, float(nxt[0]), float(nxt[1]),
+                n_pieces=24, wiggle=0.03,
+            )
+        )
+    return _assemble(
+        name if name is not None else f"oversized-{n_segments}",
+        parts, n_segments, rng,
+    )
 
 
 # ----------------------------------------------------------------------

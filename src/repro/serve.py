@@ -163,6 +163,10 @@ class ServiceReport:
     wall_seconds: float
     #: Simulated seconds from t=0 to the last served query's completion.
     makespan_s: float
+    #: Lifetime shard pruning/residency counters
+    #: (:meth:`repro.core.shardstore.ShardStore.stats_dict`) when the
+    #: engine shards; ``None`` otherwise.
+    shard: Optional[dict] = None
 
     def __len__(self) -> int:
         return len(self.outcomes)
@@ -207,8 +211,20 @@ class ServiceReport:
         """Total client energy spent across the fleet (served queries)."""
         return sum(o.energy_j for o in self.served)
 
+    @property
+    def shard_prune_rate(self) -> float:
+        """Lifetime fraction of shards never touched (0.0 when unsharded)."""
+        if not self.shard or not self.shard.get("shards_total"):
+            return 0.0
+        return self.shard["shards_pruned"] / self.shard["shards_total"]
+
     def summary(self) -> dict:
         """The report's aggregates as a flat dict (ledger / BENCH JSON)."""
+        if self.shard is not None:
+            return {**self._base_summary(), "shard": dict(self.shard)}
+        return self._base_summary()
+
+    def _base_summary(self) -> dict:
         return {
             "planner": self.planner,
             "n_requests": len(self.outcomes),
@@ -287,16 +303,18 @@ class QueryService:
         plan_cache: Optional[PlanCache] = None,
         ledger: Optional[RunLedger] = None,
         semantic_cache=None,
+        sharding=None,
     ) -> None:
         if isinstance(source, Engine):
             if (
                 plan_cache is not None
                 or ledger is not None
                 or semantic_cache is not None
+                or sharding is not None
             ):
                 raise TypeError(
-                    "plan_cache, ledger and semantic_cache are configured "
-                    "on the shared Engine; do not pass them again"
+                    "plan_cache, ledger, semantic_cache and sharding are "
+                    "configured on the shared Engine; do not pass them again"
                 )
             self.engine = source
         elif isinstance(source, (SegmentDataset, Environment)):
@@ -305,6 +323,7 @@ class QueryService:
                 plan_cache=plan_cache,
                 ledger=ledger,
                 semantic_cache=semantic_cache,
+                sharding=sharding,
             )
         else:
             raise TypeError(
@@ -476,12 +495,14 @@ class QueryService:
         makespan = max(
             (o.arrival_s + o.latency_s for o in done if o.served), default=0.0
         )
+        store = getattr(self.engine.env, "shard_store", None)
         report = ServiceReport(
             outcomes=tuple(done),
             planner=planner,
             n_batches=n_batches,
             wall_seconds=wall,
             makespan_s=makespan,
+            shard=store.stats_dict() if store is not None else None,
         )
         if self.engine.ledger is not None:
             for o in report.outcomes:

@@ -1,0 +1,343 @@
+"""ShardStore: bit-identity to the monolithic tree, residency, admission."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.shardstore import (
+    ShardConfig,
+    ShardRegion,
+    ShardResidencyError,
+    ShardStore,
+    materialize_entry_range,
+)
+from repro.data.workloads import locality_workload, oversized_dataset
+from repro.core.executor import Environment
+from repro.spatial.batchnn import batch_nearest
+from repro.spatial.batchtraverse import batch_filter
+from repro.spatial.rtree import PackedRTree
+
+
+@pytest.fixture()
+def store(pa_small_tree) -> ShardStore:
+    return ShardStore.from_tree(pa_small_tree, ShardConfig(n_shards=8))
+
+
+def _windows(env, n=16, seed=9):
+    """A mixed batch of query windows over the dataset extent."""
+    rng = np.random.default_rng(seed)
+    ext = env.dataset.extent
+    cx = rng.uniform(ext.xmin, ext.xmax, n)
+    cy = rng.uniform(ext.ymin, ext.ymax, n)
+    w = rng.uniform(0.0, 0.1 * ext.width, n)
+    h = rng.uniform(0.0, 0.1 * ext.height, n)
+    return cx - w, cy - h, cx + w, cy + h
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        cfg = ShardConfig()
+        assert cfg.n_shards == 16 and cfg.on_overflow == "error"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(n_shards=0),
+            dict(n_shards=2.5),
+            dict(budget_bytes=0),
+            dict(budget_bytes="big"),
+            dict(on_overflow="panic"),
+            dict(prune_order=0),
+            dict(prune_order=32),
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            ShardConfig(**kwargs)
+
+    def test_store_rejects_plain_dict(self, pa_small_tree):
+        with pytest.raises(TypeError):
+            ShardStore.from_tree(pa_small_tree, {"n_shards": 4})
+
+    def test_budget_below_largest_shard_rejected(self, pa_small_tree):
+        with pytest.raises(ValueError, match="largest shard"):
+            ShardStore.from_tree(
+                pa_small_tree, ShardConfig(n_shards=4, budget_bytes=1)
+            )
+
+
+class TestMaterialization:
+    def test_shard_arrays_match_tree_slices_bitwise(self, pa_small_tree, store):
+        tree = pa_small_tree
+        cap = tree.node_capacity
+        for sid in range(store.n_shards):
+            sh = store._materialize(sid)
+            lo, hi = sh.entry_lo, sh.entry_hi
+            assert np.array_equal(sh.entry_xmin, tree.entry_xmin[lo:hi])
+            assert np.array_equal(sh.entry_ymin, tree.entry_ymin[lo:hi])
+            assert np.array_equal(sh.entry_xmax, tree.entry_xmax[lo:hi])
+            assert np.array_equal(sh.entry_ymax, tree.entry_ymax[lo:hi])
+            ll, lh = sh.leaf_lo, sh.leaf_hi
+            assert np.array_equal(sh.leaf_xmin, tree.node_xmin[ll:lh])
+            assert np.array_equal(sh.leaf_ymin, tree.node_ymin[ll:lh])
+            assert np.array_equal(sh.leaf_xmax, tree.node_xmax[ll:lh])
+            assert np.array_equal(sh.leaf_ymax, tree.node_ymax[ll:lh])
+            assert lo % cap == 0 or sid == 0
+
+    def test_entry_mbrs_match_tree(self, pa_small_tree, store, rng):
+        pos = rng.integers(0, pa_small_tree.entry_ids.size, 200)
+        got = store.entry_mbrs(pos)
+        want = pa_small_tree.entry_mbrs(pos)
+        for g, w in zip(got, want):
+            assert np.array_equal(g, w)
+
+    def test_empty_gathers(self, store):
+        for arr in store.entry_mbrs(np.empty(0, dtype=np.int64)):
+            assert arr.size == 0
+        for arr in store._leaf_mbrs(np.empty(0, dtype=np.int64)):
+            assert arr.size == 0
+
+    def test_spine_leaf_rows_are_poisoned(self, store):
+        assert np.isnan(store.spine_xmin[: store.n_leaves]).all()
+        assert np.isnan(store.spine_ymax[: store.n_leaves]).all()
+        # Internal rows stay intact.
+        assert np.isfinite(store.spine_xmin[store.n_leaves :]).all()
+
+    def test_shard_ownership_maps(self, store):
+        pos = np.arange(store.n_entries, dtype=np.int64)
+        sids = store.shard_of_entries(pos)
+        assert (np.diff(sids) >= 0).all()
+        assert sids[0] == 0 and sids[-1] == store.n_shards - 1
+        for sid in range(store.n_shards):
+            m = sids == sid
+            assert pos[m].min() == store.bounds[sid]
+            assert pos[m].max() == store.bounds[sid + 1] - 1
+
+
+class TestTraversalIdentity:
+    def test_batch_filter_bit_identical(self, env_small, store):
+        qx0, qy0, qx1, qy1 = _windows(env_small)
+        base = batch_filter(env_small.tree, qx0, qy0, qx1, qy1)
+        got = store.batch_filter(qx0, qy0, qx1, qy1)
+        for field in (
+            "visited", "visited_offsets", "cand_positions", "cand_ids",
+            "cand_offsets", "mbr_tests",
+        ):
+            assert np.array_equal(getattr(got, field), getattr(base, field)), field
+
+    def test_batch_filter_empty_batch(self, store):
+        e = np.empty(0, dtype=np.float64)
+        res = store.batch_filter(e, e, e, e)
+        assert res.visited.size == 0 and res.cand_ids.size == 0
+
+    def test_batch_nearest_bit_identical(self, env_small, store, rng):
+        ext = env_small.dataset.extent
+        px = rng.uniform(ext.xmin, ext.xmax, 12)
+        py = rng.uniform(ext.ymin, ext.ymax, 12)
+        ks = rng.integers(1, 6, 12)
+        base = batch_nearest(env_small.tree, px, py, ks)
+        got = store.batch_nearest(px, py, ks)
+        for a, b in zip(got.answer_ids, base.answer_ids):
+            assert np.array_equal(a, b)
+        for a, b in zip(got.trace_ids, base.trace_ids):
+            assert np.array_equal(a, b)
+        for a, b in zip(got.trace_is_entry, base.trace_is_entry):
+            assert np.array_equal(a, b)
+        for field in (
+            "nodes_visited", "mbr_tests", "candidates_refined",
+            "heap_ops", "results_produced",
+        ):
+            assert np.array_equal(getattr(got, field), getattr(base, field)), field
+
+    def test_batch_nearest_validates(self, store):
+        with pytest.raises(ValueError):
+            store.batch_nearest(np.zeros(2), np.zeros(3), np.ones(2, dtype=int))
+        with pytest.raises(ValueError):
+            store.batch_nearest(np.zeros(1), np.zeros(1), np.zeros(1, dtype=int))
+
+    def test_node_bytes_match_tree(self, pa_small_tree, store):
+        assert np.array_equal(
+            store.node_bytes_array(), pa_small_tree.node_bytes_array()
+        )
+        assert np.array_equal(
+            store.entry_span_start(), pa_small_tree.entry_span_start()
+        )
+
+
+class TestResidency:
+    def test_lru_evicts_past_budget(self, pa_small_tree):
+        budget = None
+        probe = ShardStore.from_tree(pa_small_tree, ShardConfig(n_shards=8))
+        budget = int(probe._shard_nbytes.max()) * 2
+        store = ShardStore.from_tree(
+            pa_small_tree,
+            ShardConfig(n_shards=8, budget_bytes=budget, on_overflow="spill"),
+        )
+        for sid in range(store.n_shards):
+            store._materialize(sid)
+        assert store._resident_bytes <= budget
+        stats = store.stats_dict()
+        assert stats["shard_loads"] == store.n_shards
+        assert stats["shard_evictions"] >= store.n_shards - 2
+
+    def test_never_evicts_just_used_shard(self, pa_small_tree):
+        probe = ShardStore.from_tree(pa_small_tree, ShardConfig(n_shards=8))
+        budget = int(probe._shard_nbytes.max())
+        store = ShardStore.from_tree(
+            pa_small_tree,
+            ShardConfig(n_shards=8, budget_bytes=budget, on_overflow="spill"),
+        )
+        for sid in range(store.n_shards):
+            sh = store._materialize(sid)
+            assert sid in store._resident  # the shard just gathered stays
+            assert sh.sid == sid
+
+    def test_lru_recency_order(self, pa_small_tree):
+        probe = ShardStore.from_tree(pa_small_tree, ShardConfig(n_shards=4))
+        budget = int(probe._shard_nbytes.max()) * 3
+        store = ShardStore.from_tree(
+            pa_small_tree, ShardConfig(n_shards=4, budget_bytes=budget)
+        )
+        store._materialize(0)
+        store._materialize(1)
+        store._materialize(0)  # refresh 0: now 1 is the LRU victim
+        store._materialize(2)
+        store._materialize(3)  # must evict 1 (not the refreshed 0)
+        assert 1 not in store._resident
+
+    def test_residency_error_and_spill_fallback(self, pa_small_tree, env_small):
+        probe = ShardStore.from_tree(pa_small_tree, ShardConfig(n_shards=8))
+        budget = int(probe._shard_nbytes.max())
+        # A full-extent window needs every shard: over budget by design.
+        ext = env_small.dataset.extent
+        q = (
+            np.array([ext.xmin]), np.array([ext.ymin]),
+            np.array([ext.xmax]), np.array([ext.ymax]),
+        )
+        strict = ShardStore.from_tree(
+            pa_small_tree, ShardConfig(n_shards=8, budget_bytes=budget)
+        )
+        with pytest.raises(ShardResidencyError) as exc:
+            strict.batch_filter(*q)
+        assert exc.value.needed_bytes > exc.value.budget_bytes
+        assert "spill" in str(exc.value)
+
+        spill = ShardStore.from_tree(
+            pa_small_tree,
+            ShardConfig(n_shards=8, budget_bytes=budget, on_overflow="spill"),
+        )
+        got = spill.batch_filter(*q)
+        base = batch_filter(env_small.tree, *q)
+        assert np.array_equal(got.cand_ids, base.cand_ids)
+        assert spill.stats_dict()["shard_spills"] == 1
+        assert spill._resident_bytes <= budget + int(probe._shard_nbytes.max())
+
+    def test_take_stats_drains_window(self, env_small, store):
+        qx0, qy0, qx1, qy1 = _windows(env_small, n=4)
+        store.batch_filter(qx0, qy0, qx1, qy1)
+        first = store.take_stats()
+        assert first["shards_total"] == store.n_shards
+        assert 0 < first["shards_touched"] <= store.n_shards
+        assert first["shards_pruned"] == store.n_shards - first["shards_touched"]
+        assert first["shard_loads"] == first["shards_touched"]
+        second = store.take_stats()
+        assert second["shards_touched"] == 0
+        assert second["shard_loads"] == 0
+        # Lifetime stats survive the window drain.
+        assert store.stats_dict()["shards_touched"] == first["shards_touched"]
+
+    def test_locality_workload_prunes(self, env_small, store):
+        queries = [
+            q for q in locality_workload(env_small.dataset, 6, 2, seed=5)
+            if hasattr(q, "rect")
+        ]
+        qx0 = np.array([q.rect.xmin for q in queries])
+        qy0 = np.array([q.rect.ymin for q in queries])
+        qx1 = np.array([q.rect.xmax for q in queries])
+        qy1 = np.array([q.rect.ymax for q in queries])
+        for i in range(qx0.size):
+            store.batch_filter(qx0[i : i + 1], qy0[i : i + 1],
+                               qx1[i : i + 1], qy1[i : i + 1])
+        stats = store.stats_dict()
+        assert stats["shards_pruned"] >= 1  # locality leaves shards untouched
+
+
+class TestQueryShards:
+    def test_superset_of_touched_shards(self, env_small, store):
+        """The plan-time key-range bound admits every shard a traversal's
+        key-local gathers actually touch."""
+        qx0, qy0, qx1, qy1 = _windows(env_small, n=10, seed=3)
+        for i in range(qx0.size):
+            bound = set(
+                store.query_shards(
+                    float(qx0[i]), float(qy0[i]), float(qx1[i]), float(qy1[i])
+                ).tolist()
+            )
+            res = store.batch_filter(
+                qx0[i : i + 1], qy0[i : i + 1], qx1[i : i + 1], qy1[i : i + 1]
+            )
+            touched = set(
+                store.shard_of_entries(res.cand_positions).tolist()
+            )
+            assert touched <= bound
+
+    def test_memoized(self, store):
+        a = store.query_shards(0.0, 0.0, 10.0, 10.0)
+        b = store.query_shards(0.0, 0.0, 10.0, 10.0)
+        assert a is b
+
+
+class TestMaterializeEntryRange:
+    def test_matches_subset_build(self, pa_small_tree):
+        tree = pa_small_tree
+        lo, hi = 25, 650
+        region = materialize_entry_range(tree, lo, hi, name="probe")
+        assert isinstance(region, ShardRegion)
+        assert np.array_equal(region.global_ids, tree.entry_ids[lo:hi])
+        assert region.dataset.size == hi - lo
+        assert region.dataset.name == "probe"
+        rebuilt = PackedRTree.build(
+            tree.dataset.subset(tree.entry_ids[lo:hi], name="probe"),
+            node_capacity=tree.node_capacity,
+        )
+        assert np.array_equal(region.tree.node_xmin, rebuilt.node_xmin)
+        assert np.array_equal(region.tree.entry_ids, rebuilt.entry_ids)
+
+    def test_bounds_validation(self, pa_small_tree):
+        n = pa_small_tree.entry_ids.size
+        for lo, hi in [(-1, 5), (5, 5), (8, 2), (0, n + 1)]:
+            with pytest.raises(ValueError):
+                materialize_entry_range(pa_small_tree, lo, hi)
+
+
+class TestOversizedDataset:
+    def test_deterministic_and_sized(self):
+        a = oversized_dataset(6000, seed=11)
+        b = oversized_dataset(6000, seed=11)
+        assert a.size == 6000
+        assert np.array_equal(a.x1, b.x1) and np.array_equal(a.y2, b.y2)
+        assert oversized_dataset(6000, seed=12).x1[0] != a.x1[0]
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            oversized_dataset(0)
+
+    def test_overflows_a_small_budget(self):
+        """The generator's reason to exist: a store over it must evict."""
+        ds = oversized_dataset(8000, seed=11)
+        env = Environment.create(ds)
+        probe = ShardStore.from_tree(env.tree, ShardConfig(n_shards=10))
+        budget = int(probe._shard_nbytes.max()) * 2
+        assert budget < int(probe._shard_nbytes.sum())
+        store = ShardStore.from_tree(
+            env.tree,
+            ShardConfig(n_shards=10, budget_bytes=budget, on_overflow="spill"),
+        )
+        qx0, qy0, qx1, qy1 = _windows(env, n=24, seed=2)
+        base = batch_filter(env.tree, qx0, qy0, qx1, qy1)
+        got = store.batch_filter(qx0, qy0, qx1, qy1)
+        assert np.array_equal(got.cand_ids, base.cand_ids)
+        stats = store.stats_dict()
+        assert stats["shard_evictions"] > 0
+        assert stats["resident_bytes"] <= budget

@@ -46,6 +46,7 @@ __all__ = [
     "assert_columnar_differential",
     "assert_grids_identical",
     "assert_semcache_differential",
+    "assert_shard_differential",
     "assert_tables_close",
     "assert_tables_identical",
     "cache_state",
@@ -211,6 +212,83 @@ def _approx(value: float):
     import pytest
 
     return pytest.approx(value, rel=SCALAR_REL_TOL, abs=0.0)
+
+
+def assert_shard_differential(
+    env: Environment,
+    queries: Sequence[Query],
+    configs: Sequence[SchemeConfig],
+    policies: Optional[Sequence[Policy]] = None,
+    *,
+    sharding=None,
+) -> dict:
+    """Pin sharded planning to the unsharded engines on one workload.
+
+    Builds fresh sharded environments over ``env``'s own dataset and tree
+    (so the packed entry order is shared) and requires, from cold caches:
+
+    1. **Batched twin** — ``plan_workload_batched`` through the shard
+       store produces plans bit-identical to the unsharded batched planner
+       (``plans_equal``: steps, op tallies, answer ids, messages) and
+       leaves identical simulated cache state.
+    2. **Priced grids** — ``price_grid`` over the sharded plans equals the
+       unsharded grids bit for bit on every numeric plane.
+    3. **Columnar twin** — ``plan_and_price_columnar`` with the store
+       attached equals the unsharded grids bit for bit, with identical
+       cache state (the sharded columnar path runs serially by design).
+    4. **Scalar energies** — each sharded cell agrees with the scalar
+       per-query pricer within :data:`SCALAR_REL_TOL`.
+
+    ``sharding`` is the :class:`~repro.core.shardstore.ShardConfig` to pin
+    (default 8 shards, unbounded residency — pass a budgeted config to
+    exercise LRU spills).  Returns the batched store's lifetime stats so
+    callers can additionally assert pruning/eviction behavior.
+    """
+    from repro.core.batchplan import plans_equal
+    from repro.core.shardstore import ShardConfig, ShardStore
+
+    queries = list(queries)
+    configs = list(configs)
+    policies = list(policies) if policies is not None else [Policy()]
+    if sharding is None:
+        sharding = ShardConfig(n_shards=8)
+
+    env.reset_caches()
+    base_plans = plan_workload_batched(env, queries, configs)
+    base_state = cache_state(env)
+    base_grids = [price_grid(plans, policies, env) for plans in base_plans]
+
+    def sharded_env() -> Environment:
+        e = Environment.create(env.dataset, tree=env.tree)
+        e.shard_store = ShardStore.from_tree(env.tree, sharding)
+        return e
+
+    env_sh = sharded_env()
+    sh_plans = plan_workload_batched(env_sh, queries, configs)
+    assert cache_state(env_sh) == base_state
+    for got_cfg, want_cfg in zip(sh_plans, base_plans):
+        assert plans_equal(got_cfg, want_cfg)
+    sh_grids = [price_grid(plans, policies, env_sh) for plans in sh_plans]
+    for got, want in zip(sh_grids, base_grids):
+        assert_grids_identical(got, want)
+
+    env_col = sharded_env()
+    col_grids = plan_and_price_columnar(env_col, queries, configs, policies)
+    assert cache_state(env_col) == base_state
+    for col, want in zip(col_grids, base_grids):
+        assert_grids_identical(col, want)
+
+    for cfg_i, cfg in enumerate(configs):
+        env.reset_caches()
+        for i, q in enumerate(queries):
+            want = price_plan(plan_query(q, cfg, env), env, policies[0])
+            got = sh_grids[cfg_i].result(i, 0)
+            assert got.energy.total() == _approx(want.energy.total())
+            assert got.cycles.total() == _approx(want.cycles.total())
+
+    stats = env_sh.shard_store.stats_dict()
+    assert stats["shards_touched"] >= 1
+    return stats
 
 
 def assert_semcache_differential(
